@@ -1,0 +1,43 @@
+use std::error::Error;
+use std::fmt;
+
+use gfp_linalg::LinalgError;
+
+/// Errors from the baseline floorplanners.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The problem cannot be handled by this baseline.
+    InvalidProblem {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An internal linear solve failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidProblem { reason } => {
+                write!(f, "invalid baseline problem: {reason}")
+            }
+            BaselineError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for BaselineError {
+    fn from(e: LinalgError) -> Self {
+        BaselineError::Linalg(e)
+    }
+}

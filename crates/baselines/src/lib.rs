@@ -1,0 +1,41 @@
+//! Baseline global floorplanners the paper compares against.
+//!
+//! * [`qp`] — quadratic placement (Section III-C): convex, fast, but
+//!   collapses to a single point without fixed pads.
+//! * [`ar`] — the attractor-repeller model of Anjos & Vannelli
+//!   (Section III-A), solved with L-BFGS as in \[1\], \[8\].
+//! * [`pp`] — the push-pull (UFO) model of Lin & Hung
+//!   (Section III-B): non-convex, multi-start L-BFGS.
+//! * [`annealing`] — a Parquet-4-style sequence-pair simulated
+//!   annealer with soft-module reshaping (the packing-based baseline
+//!   of Table III).
+//! * [`analytical`] — a simplified fixed-die analytical floorplanner
+//!   (wirelength + bell-shaped density penalty, Table III's
+//!   "Analytical \[7\]" role).
+//!
+//! All continuous baselines consume the same
+//! [`GlobalFloorplanProblem`](gfp_core::GlobalFloorplanProblem) as the
+//! SDP method and produce center [`Placement`]s for the shared
+//! legalizer, mirroring the paper's methodology ("implemented versions
+//! share the same legalization algorithm with ours").
+
+mod error;
+
+pub mod analytical;
+pub mod annealing;
+pub mod ar;
+pub mod pp;
+pub mod qp;
+
+pub use error::BaselineError;
+
+/// A global-floorplanning result: module centers only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Center of each module, in module index order.
+    pub positions: Vec<(f64, f64)>,
+    /// Final value of the method's own objective (method-specific
+    /// units; for cross-method comparison evaluate HPWL after
+    /// legalization).
+    pub objective: f64,
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the conic solver backends: ADMM vs the
+//! dense barrier IPM on identical SDPs (the backend ablation of
+//! DESIGN.md), plus the PSD cone projection in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_conic::ipm::{BarrierSdp, BarrierSettings, SdpProblem};
+use gfp_conic::{AdmmSettings, AdmmSolver, Cone, ConeProgramBuilder};
+use gfp_linalg::svec::{svec, svec_index, svec_len};
+use gfp_linalg::Mat;
+
+/// The correlation-matrix SDP: min <C, Z> s.t. diag Z = 1, Z ⪰ 0.
+fn correlation_instances(n: usize) -> (SdpProblem, gfp_conic::ConeProgram) {
+    let mut state = 0xC0FFEEu64 | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut c_mat = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            c_mat[(i, j)] = v;
+            c_mat[(j, i)] = v;
+        }
+    }
+    let c = svec(&c_mat);
+    let d = svec_len(n);
+    let mut ipm = SdpProblem::new(n);
+    ipm.c = c.clone();
+    let mut admm = ConeProgramBuilder::new(d);
+    for (j, &cj) in c.iter().enumerate() {
+        admm.set_objective_coeff(j, cj);
+    }
+    for i in 0..n {
+        let idx = svec_index(n, i, i);
+        ipm.eq.push((vec![(idx, 1.0)], 1.0));
+        admm.add_eq(&[(idx, 1.0)], 1.0);
+    }
+    admm.add_psd_vars(&(0..d).collect::<Vec<_>>());
+    (ipm, admm.build().expect("program"))
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdp_backend");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        let (ipm_prob, admm_prob) = correlation_instances(n);
+        group.bench_with_input(BenchmarkId::new("admm", n), &admm_prob, |b, p| {
+            let solver = AdmmSolver::new(AdmmSettings {
+                eps: 1e-6,
+                ..AdmmSettings::default()
+            });
+            b.iter(|| solver.solve(p).expect("solve"))
+        });
+        let x0 = svec(&Mat::identity(n));
+        group.bench_with_input(BenchmarkId::new("ipm", n), &ipm_prob, |b, p| {
+            let solver = BarrierSdp::new(BarrierSettings::default());
+            b.iter(|| solver.solve_from(p, &x0).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_psd_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psd_projection");
+    group.sample_size(20);
+    for n in [32usize, 102, 202] {
+        let dim = svec_len(n);
+        let v: Vec<f64> = (0..dim).map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| {
+                let mut w = v.clone();
+                Cone::Psd(n).project(&mut w);
+                w
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_psd_projection);
+criterion_main!(benches);

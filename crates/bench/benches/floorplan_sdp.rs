@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the paper's core pipeline pieces:
+//! sub-problem 1 solve time vs n (the kernel behind Fig. 5(b)),
+//! closed-form sub-problem 2, and one full convex iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_conic::AdmmSettings;
+use gfp_core::lifted::{objective_matrix, Lift};
+use gfp_core::subproblems::{solve_subproblem1, solve_subproblem2, Sp1Backend};
+use gfp_core::{
+    Backend, FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner,
+};
+use gfp_netlist::suite;
+
+fn problem(name: &str) -> GlobalFloorplanProblem {
+    let b = suite::by_name(name);
+    GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default())
+        .expect("capture")
+        .normalized()
+}
+
+fn bench_subproblem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subproblem1_admm");
+    group.sample_size(10);
+    for name in ["n10", "n30"] {
+        let p = problem(name);
+        let obj = objective_matrix(&p, &p.a, None);
+        let backend = Sp1Backend::Admm(AdmmSettings {
+            eps: 1e-4,
+            max_iter: 4000,
+            ..AdmmSettings::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| solve_subproblem1(p, &p.a, &obj, &backend, None).expect("sp1"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subproblem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subproblem2_closed_form");
+    group.sample_size(20);
+    for n in [10usize, 50, 100, 200] {
+        let lift = Lift::new(n);
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % 14) as f64, (i / 14) as f64))
+            .collect();
+        let z = lift.z_matrix(&lift.embed_positions(&positions, 0.3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &z, |b, z| {
+            b.iter(|| solve_subproblem2(z, n).expect("sp2"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let p = problem("n10");
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_alpha_rounds = 1;
+    settings.max_iter = 1;
+    settings.alpha0 = 1024.0;
+    settings.backend = Backend::Admm(AdmmSettings {
+        eps: 1e-4,
+        max_iter: 2000,
+        ..AdmmSettings::default()
+    });
+    let mut group = c.benchmark_group("convex_iteration");
+    group.sample_size(10);
+    group.bench_function("one_iteration_n10", |b| {
+        let solver = SdpFloorplanner::new(settings.clone());
+        b.iter(|| solver.solve(&p).expect("solve"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subproblem1, bench_subproblem2, bench_full_iteration);
+criterion_main!(benches);

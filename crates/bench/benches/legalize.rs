@@ -1,0 +1,64 @@
+//! Criterion benchmarks for legalization: constraint-graph
+//! construction/repair and the full SOCP shape optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_bench::{Budget, Pipeline};
+use gfp_legalize::constraint_graph::ConstraintGraph;
+use gfp_legalize::{legalize, LegalizeSettings};
+use gfp_netlist::suite;
+
+fn grid(n: usize, w: f64, h: f64) -> Vec<(f64, f64)> {
+    let cols = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| {
+            (
+                ((i % cols) as f64 + 0.5) / cols as f64 * w,
+                ((i / cols) as f64 + 0.5) / cols as f64 * h,
+            )
+        })
+        .collect()
+}
+
+fn bench_constraint_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_graph");
+    group.sample_size(20);
+    for name in ["n50", "n200"] {
+        let pipeline = Pipeline::new(&suite::by_name(name), 1.0, Budget::Quick);
+        let centers = grid(
+            pipeline.problem.n,
+            pipeline.outline.width,
+            pipeline.outline.height,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &centers,
+            |b, centers| {
+                b.iter(|| ConstraintGraph::from_positions(centers, &pipeline.outline))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_legalize_socp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalize_socp");
+    group.sample_size(10);
+    let pipeline = Pipeline::new(&suite::gsrc_n10(), 1.0, Budget::Quick);
+    let centers = grid(10, pipeline.outline.width, pipeline.outline.height);
+    group.bench_function("n10_grid", |b| {
+        b.iter(|| {
+            legalize(
+                &pipeline.netlist,
+                &pipeline.problem,
+                &pipeline.outline,
+                &centers,
+                &LegalizeSettings::default(),
+            )
+            .expect("legalizes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraint_graph, bench_legalize_socp);
+criterion_main!(benches);

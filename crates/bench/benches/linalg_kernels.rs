@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the linear-algebra kernels that dominate
+//! the floorplanner: symmetric eigendecomposition (sub-problem 2 and
+//! every ADMM PSD projection), `svec` round trips and HPWL evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_linalg::svec::{smat, svec};
+use gfp_linalg::{eigh, Mat};
+use gfp_netlist::{hpwl, suite};
+
+fn random_sym(n: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut a = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigh");
+    group.sample_size(10);
+    for n in [12usize, 32, 52, 102] {
+        let a = random_sym(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| eigh(a).expect("eigh"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_svec(c: &mut Criterion) {
+    let a = random_sym(102, 7);
+    c.bench_function("svec_roundtrip_102", |b| {
+        b.iter(|| {
+            let v = svec(&a);
+            smat(&v)
+        })
+    });
+}
+
+fn bench_hpwl(c: &mut Criterion) {
+    let bench = suite::gsrc_n200();
+    let positions: Vec<(f64, f64)> = (0..200)
+        .map(|i| ((i % 20) as f64 * 10.0, (i / 20) as f64 * 10.0))
+        .collect();
+    c.bench_function("hpwl_n200", |b| {
+        b.iter(|| hpwl::hpwl(&bench.netlist, &positions))
+    });
+}
+
+criterion_group!(benches, bench_eigh, bench_svec, bench_hpwl);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Aligned-table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned text table with a CSV twin.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for c in 0..cols {
+            width[c] = self.header[c].chars().count();
+            for r in &self.rows {
+                width[c] = width[c].max(r[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let pad = width[c] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV twin under `results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        csv.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        csv.push('\n');
+        for r in &self.rows {
+            csv.push_str(&r.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            csv.push('\n');
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Formats an optional HPWL value (`-` for legalization failures, as
+/// the paper renders missing points).
+pub fn fmt_hpwl(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.0}"),
+        None => "fail".to_string(),
+    }
+}
+
+/// Formats an optional percentage.
+pub fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:+.2}%"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["n10", "36277"]);
+        t.add_row(vec!["longer-name", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("n10"));
+        // Columns align: "value" column starts at the same offset.
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find("36277").unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_hpwl(Some(1234.6)), "1235");
+        assert_eq!(fmt_hpwl(None), "fail");
+        assert_eq!(fmt_pct(Some(14.713)), "+14.71%");
+        assert_eq!(fmt_pct(None), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_length_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one"]);
+    }
+}

@@ -1,0 +1,520 @@
+//! SCS-style ADMM solver for cone programs.
+//!
+//! Splits `min cᵀx  s.t.  Ax + s = b, s ∈ K` into a linear solve
+//! (conjugate gradients on the regularized normal equations), a cone
+//! projection and a dual ascent step. Over-relaxation, adaptive penalty
+//! and Ruiz equilibration are applied; the normal operator is
+//! independent of the penalty, so adapting `ρ` is free.
+
+use std::time::Instant;
+
+use gfp_linalg::cg::{cg_best_effort, LinOp};
+use gfp_linalg::sparse::CsrMat;
+use gfp_linalg::vec_ops::{dot, norm2};
+
+use crate::cone::project_product;
+use crate::scaling::{equilibrate, Equilibration};
+use crate::solution::{SolveInfo, SolveStatus, Solution};
+use crate::{ConeProgram, ConicError};
+
+/// Tuning parameters of the [`AdmmSolver`].
+#[derive(Debug, Clone)]
+pub struct AdmmSettings {
+    /// Iteration budget.
+    pub max_iter: usize,
+    /// Target relative tolerance for residuals and gap.
+    pub eps: f64,
+    /// Initial penalty parameter `ρ`.
+    pub rho: f64,
+    /// Over-relaxation parameter `α ∈ (0, 2)`; 1.5–1.8 typically helps.
+    pub alpha: f64,
+    /// Enables residual-balancing adaptation of `ρ`.
+    pub adaptive_rho: bool,
+    /// Rounds of Ruiz equilibration (0 disables scaling).
+    pub scaling_iters: usize,
+    /// Normalize `b` and `c` to unit norm after equilibration
+    /// (SCS-style scalar scaling); strongly recommended for the badly
+    /// scaled floorplanning SDPs.
+    pub normalize: bool,
+    /// Proximal regularization added to the normal operator.
+    pub prox_eps: f64,
+    /// Iteration cadence of the (slightly costly) convergence check.
+    pub check_interval: usize,
+    /// Cap on inner CG iterations per x-update.
+    pub cg_max_iter: usize,
+}
+
+impl Default for AdmmSettings {
+    fn default() -> Self {
+        AdmmSettings {
+            max_iter: 20_000,
+            eps: 1e-6,
+            rho: 1.0,
+            alpha: 1.6,
+            adaptive_rho: true,
+            scaling_iters: 10,
+            normalize: true,
+            prox_eps: 1e-8,
+            check_interval: 25,
+            cg_max_iter: 200,
+        }
+    }
+}
+
+/// Per-check-point convergence trace entry (for diagnostics and the
+/// convergence experiments of Fig. 5(a)).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationStats {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Primal objective at this point.
+    pub objective: f64,
+    /// Relative primal residual.
+    pub primal_residual: f64,
+    /// Relative dual residual.
+    pub dual_residual: f64,
+}
+
+/// The normal operator `M = εI + AᵀA` applied matrix-free.
+struct NormalOp<'a> {
+    a: &'a CsrMat,
+    eps: f64,
+    scratch: std::cell::RefCell<Vec<f64>>,
+}
+
+impl LinOp for NormalOp<'_> {
+    fn dim(&self) -> usize {
+        self.a.ncols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut ax = self.scratch.borrow_mut();
+        self.a.matvec_into(x, &mut ax);
+        self.a.matvec_transpose_into(&ax, y);
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi += self.eps * xi;
+        }
+    }
+}
+
+/// Operator-splitting conic solver.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct AdmmSolver {
+    settings: AdmmSettings,
+}
+
+impl AdmmSolver {
+    /// Creates a solver with the given settings.
+    pub fn new(settings: AdmmSettings) -> Self {
+        AdmmSolver { settings }
+    }
+
+    /// The active settings.
+    pub fn settings(&self) -> &AdmmSettings {
+        &self.settings
+    }
+
+    /// Solves the program from a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConicError::InvalidProgram`] for inconsistent input.
+    /// An exhausted iteration budget is **not** an error: it yields a
+    /// solution with [`SolveStatus::MaxIterations`].
+    pub fn solve(&self, program: &ConeProgram) -> Result<Solution, ConicError> {
+        self.solve_with_trace(program, None).map(|(s, _)| s)
+    }
+
+    /// Solves the program and optionally records a convergence trace
+    /// at every check interval. `warm` provides a primal warm start in
+    /// the *original* (unscaled) variable space.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with_trace(
+        &self,
+        program: &ConeProgram,
+        warm: Option<&[f64]>,
+    ) -> Result<(Solution, Vec<IterationStats>), ConicError> {
+        program.validate()?;
+        let t0 = Instant::now();
+        let st = &self.settings;
+        let m = program.num_rows();
+        let d = program.num_vars();
+        if let Some(w) = warm {
+            if w.len() != d {
+                return Err(ConicError::InvalidProgram {
+                    reason: format!("warm start has {} entries, expected {d}", w.len()),
+                });
+            }
+        }
+
+        // --- scaled copies -------------------------------------------------
+        let mut a = program.a.clone();
+        let mut b = program.b.clone();
+        let mut c = program.c.clone();
+        let eq = if st.scaling_iters > 0 {
+            equilibrate(&mut a, &mut b, &mut c, &program.cones, st.scaling_iters)
+        } else {
+            Equilibration::identity(m, d)
+        };
+        // Scalar normalization: b <- sb*b, c <- sc*c with unit norms.
+        let (sb, sc) = if st.normalize {
+            let sb = 1.0 / norm2(&b).max(1e-12);
+            let sc = 1.0 / norm2(&c).max(1e-12);
+            for v in b.iter_mut() {
+                *v *= sb;
+            }
+            for v in c.iter_mut() {
+                *v *= sc;
+            }
+            (sb, sc)
+        } else {
+            (1.0, 1.0)
+        };
+
+        let op = NormalOp {
+            a: &a,
+            eps: st.prox_eps,
+            scratch: std::cell::RefCell::new(vec![0.0; m]),
+        };
+        // Jacobi preconditioner: diag(εI + AᵀA).
+        let mut diag = vec![st.prox_eps; d];
+        for i in 0..m {
+            for (j, v) in a.row_iter(i) {
+                diag[j] += v * v;
+            }
+        }
+
+        // --- state ---------------------------------------------------------
+        let mut x = match warm {
+            Some(w) => {
+                // Map into scaled space: x̄ = sb·E⁻¹ x.
+                w.iter().zip(eq.e.iter()).map(|(xi, ei)| sb * xi / ei).collect()
+            }
+            None => vec![0.0; d],
+        };
+        let mut s = b.clone();
+        project_product(&program.cones, &mut s);
+        let mut y = vec![0.0; m];
+        let mut rho = st.rho;
+
+        let norm_b_unscaled = {
+            let mut t = b.clone();
+            eq.unscale_s(&mut t); // D⁻¹ b̄ = sb · b_orig
+            norm2(&t) / sb
+        };
+        let norm_c_unscaled = norm2(&program.c);
+
+        let mut trace = Vec::new();
+        let mut ax = vec![0.0; m];
+        let mut rhs = vec![0.0; d];
+        let mut status = SolveStatus::MaxIterations;
+        let mut iterations_used = st.max_iter;
+        let mut pri_rel = f64::INFINITY;
+        let mut dua_rel = f64::INFINITY;
+        let mut gap_rel = f64::INFINITY;
+
+        let mut iter = 0;
+        while iter < st.max_iter {
+            // ---- x-update: (εI + AᵀA) x = Aᵀ(b − s − y/ρ) − c/ρ + ε x_prev
+            let mut tmp = vec![0.0; m];
+            for i in 0..m {
+                tmp[i] = b[i] - s[i] - y[i] / rho;
+            }
+            a.matvec_transpose_into(&tmp, &mut rhs);
+            for j in 0..d {
+                rhs[j] += -c[j] / rho + st.prox_eps * x[j];
+            }
+            let cg_tol = 1e-10_f64.max(1e-4 / ((iter + 1) as f64).powf(1.3)) * norm2(&rhs).max(1.0);
+            let cg_res = cg_best_effort(&op, &rhs, &x, cg_tol, st.cg_max_iter, Some(&diag));
+            x = cg_res.x;
+
+            // ---- over-relaxation on Ax
+            a.matvec_into(&x, &mut ax);
+            let mut ax_or = vec![0.0; m];
+            for i in 0..m {
+                ax_or[i] = st.alpha * ax[i] + (1.0 - st.alpha) * (b[i] - s[i]);
+            }
+
+            // ---- s-update: project b − Ax̂ − y/ρ
+            let mut v = vec![0.0; m];
+            for i in 0..m {
+                v[i] = b[i] - ax_or[i] - y[i] / rho;
+            }
+            s = v;
+            project_product(&program.cones, &mut s);
+
+            // ---- y-update
+            for i in 0..m {
+                y[i] += rho * (ax_or[i] + s[i] - b[i]);
+            }
+
+            iter += 1;
+
+            // ---- convergence check (in unscaled space)
+            if iter % st.check_interval == 0 || iter == st.max_iter {
+                // primal residual: D⁻¹ (Ax + s − b)
+                let mut pr = vec![0.0; m];
+                for i in 0..m {
+                    pr[i] = (ax[i] + s[i] - b[i]) / (eq.d[i] * sb);
+                }
+                pri_rel = norm2(&pr) / (1.0 + norm_b_unscaled);
+
+                // dual residual: E⁻¹ (Aᵀỹ + c̃)  — note c̃ = E c so this is Aᵀy + c.
+                let mut aty = a.matvec_transpose(&y);
+                for j in 0..d {
+                    aty[j] = (aty[j] + c[j]) / (eq.e[j] * sc);
+                }
+                dua_rel = norm2(&aty) / (1.0 + norm_c_unscaled);
+
+                // duality gap, in original units: c̄ᵀx̄ = sb·sc·cᵀx.
+                let cx = dot(&c, &x) / (sb * sc);
+                let by = dot(&b, &y) / (sb * sc);
+                gap_rel = (cx + by).abs() / (1.0 + cx.abs() + by.abs());
+
+                trace.push(IterationStats {
+                    iteration: iter,
+                    objective: cx,
+
+                    primal_residual: pri_rel,
+                    dual_residual: dua_rel,
+                });
+
+                if pri_rel < st.eps && dua_rel < st.eps && gap_rel < st.eps {
+                    status = SolveStatus::Optimal;
+                    iterations_used = iter;
+                    break;
+                }
+
+                // Divergence guard: the plain (non-HSDE) splitting has
+                // no infeasibility certificates; unbounded iterate
+                // growth is the practical signal.
+                let xn = norm2(&x);
+                if !xn.is_finite() || xn > 1e12 {
+                    return Err(ConicError::Diverged {
+                        iterations: iter,
+                        primal_residual: pri_rel,
+                    });
+                }
+
+                // ---- adaptive rho (residual balancing)
+                if st.adaptive_rho && iter % (st.check_interval * 2) == 0 {
+                    if pri_rel > 10.0 * dua_rel && rho < 1e4 {
+                        rho *= 2.0;
+                    } else if dua_rel > 10.0 * pri_rel && rho > 1e-4 {
+                        rho /= 2.0;
+                    }
+                }
+            }
+        }
+
+        if status != SolveStatus::Optimal {
+            let relaxed = 10.0 * st.eps;
+            if pri_rel < relaxed && dua_rel < relaxed && gap_rel < relaxed {
+                status = SolveStatus::Inaccurate;
+            }
+            iterations_used = iter;
+        }
+
+        // ---- unscale ------------------------------------------------------
+        eq.unscale_x(&mut x);
+        eq.unscale_s(&mut s);
+        eq.unscale_y(&mut y);
+        for v in x.iter_mut() {
+            *v /= sb;
+        }
+        for v in s.iter_mut() {
+            *v /= sb;
+        }
+        for v in y.iter_mut() {
+            *v /= sc;
+        }
+        let objective = dot(&program.c, &x);
+
+        Ok((
+            Solution {
+                x,
+                y,
+                s,
+                objective,
+                status,
+                info: SolveInfo {
+                    iterations: iterations_used,
+                    primal_residual: pri_rel,
+                    dual_residual: dua_rel,
+                    duality_gap: gap_rel,
+                    solve_seconds: t0.elapsed().as_secs_f64(),
+                },
+            },
+            trace,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConeProgramBuilder;
+
+    fn solve(builder: &ConeProgramBuilder, eps: f64) -> Solution {
+        let p = builder.build().unwrap();
+        let solver = AdmmSolver::new(AdmmSettings {
+            eps,
+            ..AdmmSettings::default()
+        });
+        solver.solve(&p).unwrap()
+    }
+
+    #[test]
+    fn lp_simple_box() {
+        // min -x - y  s.t.  x + y <= 1, x >= 0, y >= 0  =>  opt = -1
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, -1.0);
+        b.set_objective_coeff(1, -1.0);
+        b.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        b.add_ge(&[(1, 1.0)], 0.0);
+        let sol = solve(&b, 1e-8);
+        assert!(sol.status.is_usable());
+        assert!((sol.objective + 1.0).abs() < 1e-5, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn lp_with_equality() {
+        // min x - y  s.t.  x + y = 1, x,y >= 0  =>  x=0, y=1, opt=-1
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, 1.0);
+        b.set_objective_coeff(1, -1.0);
+        b.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        b.add_ge(&[(1, 1.0)], 0.0);
+        let sol = solve(&b, 1e-8);
+        assert!((sol.objective + 1.0).abs() < 1e-5);
+        assert!(sol.x[0].abs() < 1e-4);
+        assert!((sol.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn socp_norm_bound() {
+        // min t  s.t.  ||(3,4)|| <= t   =>  t = 5
+        let mut b = ConeProgramBuilder::new(1);
+        b.set_objective_coeff(0, 1.0);
+        b.add_soc(&[(&[(0, -1.0)], 0.0), (&[], 3.0), (&[], 4.0)]);
+        let sol = solve(&b, 1e-8);
+        assert!((sol.x[0] - 5.0).abs() < 1e-4, "t = {}", sol.x[0]);
+    }
+
+    #[test]
+    fn sdp_correlation_matrix() {
+        // min 2 Z01 s.t. Z00 = Z11 = 1, Z PSD  =>  opt -2 at Z01 = -1.
+        use gfp_linalg::svec::svec_index;
+        let mut b = ConeProgramBuilder::new(3);
+        b.set_objective_coeff(svec_index(2, 1, 0), std::f64::consts::SQRT_2);
+        b.add_eq(&[(svec_index(2, 0, 0), 1.0)], 1.0);
+        b.add_eq(&[(svec_index(2, 1, 1), 1.0)], 1.0);
+        b.add_psd_vars(&[0, 1, 2]);
+        let sol = solve(&b, 1e-7);
+        assert!(sol.status.is_usable());
+        assert!((sol.objective + 2.0).abs() < 1e-3, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn sdp_trace_heuristic_distance() {
+        // min trace(Z) s.t. Z11 >= 4 (svec var), Z PSD, 2x2.
+        // Optimal: Z = diag(0, 4), trace 4.
+        use gfp_linalg::svec::svec_index;
+        let mut b = ConeProgramBuilder::new(3);
+        b.set_objective_coeff(svec_index(2, 0, 0), 1.0);
+        b.set_objective_coeff(svec_index(2, 1, 1), 1.0);
+        b.add_ge(&[(svec_index(2, 1, 1), 1.0)], 4.0);
+        b.add_psd_vars(&[0, 1, 2]);
+        let sol = solve(&b, 1e-7);
+        assert!((sol.objective - 4.0).abs() < 1e-3, "obj {}", sol.objective);
+        assert!(sol.x[svec_index(2, 0, 0)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn warm_start_accepts_and_runs() {
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, -1.0);
+        b.add_le(&[(0, 1.0)], 2.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        b.add_eq(&[(1, 1.0)], 3.0);
+        let p = b.build().unwrap();
+        let solver = AdmmSolver::new(AdmmSettings::default());
+        let (sol, trace) = solver
+            .solve_with_trace(&p, Some(&[2.0, 3.0]))
+            .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-4);
+        assert!((sol.x[1] - 3.0).abs() < 1e-4);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_warm_start_length() {
+        let mut b = ConeProgramBuilder::new(1);
+        b.add_eq(&[(0, 1.0)], 1.0);
+        let p = b.build().unwrap();
+        let solver = AdmmSolver::new(AdmmSettings::default());
+        assert!(solver.solve_with_trace(&p, Some(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn max_iterations_status_on_tiny_budget() {
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, -1.0);
+        b.add_le(&[(0, 1.0), (1, 0.5)], 1.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        b.add_ge(&[(1, 1.0)], 0.0);
+        let p = b.build().unwrap();
+        let solver = AdmmSolver::new(AdmmSettings {
+            max_iter: 2,
+            eps: 1e-12,
+            ..AdmmSettings::default()
+        });
+        let sol = solver.solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::MaxIterations);
+    }
+
+    #[test]
+    fn duals_certify_lp_optimum() {
+        // min -x s.t. x <= 3 (plus x >= 0). Dual of "x <= 3" must be 1.
+        let mut b = ConeProgramBuilder::new(1);
+        b.set_objective_coeff(0, -1.0);
+        b.add_le(&[(0, 1.0)], 3.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        let sol = solve(&b, 1e-9);
+        assert!((sol.x[0] - 3.0).abs() < 1e-5);
+        // Aᵀy + c = 0: y_le * 1 + y_ge * (-1) - 1 = 0, with y_ge = 0.
+        assert!((sol.y[0] - 1.0).abs() < 1e-4, "dual {}", sol.y[0]);
+    }
+}
+
+#[cfg(test)]
+mod divergence_tests {
+    use super::*;
+    use crate::ConeProgramBuilder;
+
+    #[test]
+    fn unbounded_problem_is_detected_or_capped() {
+        // min -x with only x >= 0: unbounded below. The solver must
+        // either report divergence or exhaust iterations — never claim
+        // optimality.
+        let mut b = ConeProgramBuilder::new(1);
+        b.set_objective_coeff(0, -1.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        let p = b.build().unwrap();
+        let solver = AdmmSolver::new(AdmmSettings {
+            max_iter: 20_000,
+            ..AdmmSettings::default()
+        });
+        match solver.solve(&p) {
+            Err(crate::ConicError::Diverged { .. }) => {}
+            Ok(sol) => assert_ne!(sol.status, SolveStatus::Optimal, "claimed optimal on unbounded"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,291 @@
+use gfp_linalg::svec::{smat, svec, svec_len};
+use gfp_linalg::{eigh, vec_ops};
+
+/// One factor of the Cartesian product cone `K`.
+///
+/// The slack vector `s` is partitioned into consecutive blocks, one per
+/// cone, in the order they appear in
+/// [`ConeProgram::cones`](crate::ConeProgram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cone {
+    /// `{0}^n` — equality constraints.
+    Zero(usize),
+    /// The nonnegative orthant `R₊^n` — inequality constraints.
+    NonNeg(usize),
+    /// The second-order (Lorentz) cone `{(t, u) : ‖u‖₂ ≤ t}` of total
+    /// dimension `n` (so `u` has `n − 1` entries).
+    Soc(usize),
+    /// The cone of `n x n` positive semidefinite matrices in scaled
+    /// `svec` form; the block occupies `n (n + 1) / 2` slots.
+    Psd(usize),
+}
+
+impl Cone {
+    /// Number of slots this cone occupies in the slack vector.
+    pub fn dim(&self) -> usize {
+        match *self {
+            Cone::Zero(n) | Cone::NonNeg(n) | Cone::Soc(n) => n,
+            Cone::Psd(n) => svec_len(n),
+        }
+    }
+
+    /// Euclidean projection of `v` onto this cone, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn project(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.dim(), "cone projection: length mismatch");
+        match *self {
+            Cone::Zero(_) => v.fill(0.0),
+            Cone::NonNeg(_) => {
+                for x in v.iter_mut() {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+            Cone::Soc(n) => project_soc(v, n),
+            Cone::Psd(n) => project_psd(v, n),
+        }
+    }
+
+    /// Euclidean projection onto the dual cone `K*`, in place.
+    ///
+    /// Zero cone ↔ free space; the other three are self-dual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn project_dual(&self, v: &mut [f64]) {
+        match *self {
+            Cone::Zero(_) => {} // dual of {0} is everything: projection is identity
+            _ => self.project(v),
+        }
+    }
+
+    /// Returns `true` if `v` lies in the cone up to tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn contains(&self, v: &[f64], tol: f64) -> bool {
+        assert_eq!(v.len(), self.dim(), "cone membership: length mismatch");
+        match *self {
+            Cone::Zero(_) => v.iter().all(|x| x.abs() <= tol),
+            Cone::NonNeg(_) => v.iter().all(|&x| x >= -tol),
+            Cone::Soc(_) => {
+                if v.is_empty() {
+                    return true;
+                }
+                vec_ops::norm2(&v[1..]) <= v[0] + tol
+            }
+            Cone::Psd(_) => {
+                let m = smat(v);
+                match gfp_linalg::eigvalsh(&m) {
+                    Ok(vals) => vals.first().map_or(true, |&l| l >= -tol),
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+}
+
+fn project_soc(v: &mut [f64], n: usize) {
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        if v[0] < 0.0 {
+            v[0] = 0.0;
+        }
+        return;
+    }
+    let t = v[0];
+    let unorm = vec_ops::norm2(&v[1..]);
+    if unorm <= t {
+        // inside the cone
+    } else if unorm <= -t {
+        // inside the polar cone: projection is the origin
+        v.fill(0.0);
+    } else {
+        let scale = (t + unorm) / (2.0 * unorm);
+        v[0] = (t + unorm) / 2.0;
+        for u in v[1..].iter_mut() {
+            *u *= scale;
+        }
+    }
+}
+
+fn project_psd(v: &mut [f64], n: usize) {
+    if n == 0 {
+        return;
+    }
+    let m = smat(v);
+    let e = eigh(&m).expect("psd projection eigendecomposition");
+    let mut out = gfp_linalg::Mat::zeros(n, n);
+    for k in 0..n {
+        let lam = e.values[k];
+        if lam <= 0.0 {
+            continue;
+        }
+        for i in 0..n {
+            let vik = e.vectors[(i, k)];
+            if vik == 0.0 {
+                continue;
+            }
+            for j in 0..=i {
+                out[(i, j)] += lam * vik * e.vectors[(j, k)];
+            }
+        }
+    }
+    // mirror the computed lower triangle
+    for i in 0..n {
+        for j in 0..i {
+            out[(j, i)] = out[(i, j)];
+        }
+    }
+    v.copy_from_slice(&svec(&out));
+}
+
+/// Projects a stacked slack vector onto the product of `cones`, block
+/// by block, in place.
+///
+/// # Panics
+///
+/// Panics if `v.len()` differs from the total cone dimension.
+pub(crate) fn project_product(cones: &[Cone], v: &mut [f64]) {
+    let mut offset = 0;
+    for cone in cones {
+        let d = cone.dim();
+        cone.project(&mut v[offset..offset + d]);
+        offset += d;
+    }
+    assert_eq!(offset, v.len(), "cone product dimension mismatch");
+}
+
+/// Total dimension of a product of cones.
+pub(crate) fn total_dim(cones: &[Cone]) -> usize {
+    cones.iter().map(Cone::dim).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfp_linalg::Mat;
+
+    #[test]
+    fn zero_cone_projects_to_zero() {
+        let mut v = vec![1.0, -2.0];
+        Cone::Zero(2).project(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+        assert!(Cone::Zero(2).contains(&v, 0.0));
+    }
+
+    #[test]
+    fn nonneg_projection_clamps() {
+        let mut v = vec![1.0, -2.0, 0.0];
+        Cone::NonNeg(3).project(&mut v);
+        assert_eq!(v, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn soc_inside_unchanged() {
+        let mut v = vec![5.0, 3.0, 4.0];
+        Cone::Soc(3).project(&mut v);
+        assert_eq!(v, vec![5.0, 3.0, 4.0]);
+        assert!(Cone::Soc(3).contains(&v, 1e-12));
+    }
+
+    #[test]
+    fn soc_polar_goes_to_origin() {
+        let mut v = vec![-6.0, 3.0, 4.0];
+        Cone::Soc(3).project(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn soc_boundary_projection() {
+        let mut v = vec![0.0, 3.0, 4.0];
+        Cone::Soc(3).project(&mut v);
+        // After projection the point is on the cone boundary: t = ‖u‖.
+        let t = v[0];
+        let un = (v[1] * v[1] + v[2] * v[2]).sqrt();
+        assert!((t - un).abs() < 1e-12);
+        assert!((t - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_projection_is_idempotent_and_nonexpansive() {
+        let cases = [
+            vec![1.0, 10.0, -3.0],
+            vec![-0.5, 0.2, 0.1],
+            vec![2.0, 0.0, 0.0],
+        ];
+        for c in &cases {
+            let mut p1 = c.clone();
+            Cone::Soc(3).project(&mut p1);
+            let mut p2 = p1.clone();
+            Cone::Soc(3).project(&mut p2);
+            for (a, b) in p1.iter().zip(p2.iter()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+            assert!(Cone::Soc(3).contains(&p1, 1e-12));
+        }
+    }
+
+    #[test]
+    fn psd_projection_clamps_negative_eigenvalues() {
+        // A = diag(2, -3): projection is diag(2, 0).
+        let a = Mat::from_diag(&[2.0, -3.0]);
+        let mut v = svec(&a);
+        Cone::Psd(2).project(&mut v);
+        let p = smat(&v);
+        assert!((p[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!(p[(1, 1)].abs() < 1e-12);
+        assert!(p[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_projection_keeps_psd_input() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]);
+        let g = x.matmul(&x.transpose()); // PSD by construction
+        let mut v = svec(&g);
+        let orig = v.clone();
+        Cone::Psd(2).project(&mut v);
+        for (a, b) in v.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn psd_membership() {
+        let a = Mat::from_diag(&[1.0, 0.0]);
+        assert!(Cone::Psd(2).contains(&svec(&a), 1e-12));
+        let b = Mat::from_diag(&[1.0, -0.1]);
+        assert!(!Cone::Psd(2).contains(&svec(&b), 1e-3));
+    }
+
+    #[test]
+    fn dual_projection_of_zero_cone_is_identity() {
+        let mut v = vec![3.0, -4.0];
+        Cone::Zero(2).project_dual(&mut v);
+        assert_eq!(v, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn product_projection_respects_blocks() {
+        let cones = [Cone::Zero(1), Cone::NonNeg(2), Cone::Soc(3)];
+        let mut v = vec![9.0, -1.0, 2.0, -6.0, 3.0, 4.0];
+        project_product(&cones, &mut v);
+        assert_eq!(&v[..3], &[0.0, 0.0, 2.0]);
+        assert_eq!(&v[3..], &[0.0, 0.0, 0.0]);
+        assert_eq!(total_dim(&cones), 6);
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(Cone::Psd(4).dim(), 10);
+        assert_eq!(Cone::Soc(3).dim(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use gfp_linalg::LinalgError;
+
+/// Errors produced when building or solving cone programs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConicError {
+    /// The program definition is inconsistent.
+    InvalidProgram {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The solver's internal linear algebra failed.
+    Linalg(LinalgError),
+    /// The barrier method could not find a strictly feasible start.
+    NoInterior {
+        /// Description of the failed phase.
+        phase: &'static str,
+    },
+    /// The solver hit its iteration limit without reaching even the
+    /// relaxed tolerance (see [`SolveStatus`](crate::SolveStatus) for
+    /// the soft version of this condition).
+    Diverged {
+        /// Iterations executed before giving up.
+        iterations: usize,
+        /// Final primal residual.
+        primal_residual: f64,
+    },
+}
+
+impl fmt::Display for ConicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConicError::InvalidProgram { reason } => write!(f, "invalid cone program: {reason}"),
+            ConicError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ConicError::NoInterior { phase } => {
+                write!(f, "no strictly feasible interior point found during {phase}")
+            }
+            ConicError::Diverged {
+                iterations,
+                primal_residual,
+            } => write!(
+                f,
+                "solver diverged after {iterations} iterations (primal residual {primal_residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for ConicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConicError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ConicError {
+    fn from(e: LinalgError) -> Self {
+        ConicError::Linalg(e)
+    }
+}

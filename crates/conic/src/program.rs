@@ -1,0 +1,375 @@
+use gfp_linalg::sparse::CsrMat;
+
+use crate::cone::{total_dim, Cone};
+use crate::ConicError;
+
+/// A cone program in standard form: `min cᵀx  s.t.  A x + s = b, s ∈ K`.
+///
+/// `K` is the Cartesian product of [`cones`](ConeProgram::cones), in
+/// order, partitioning the rows of `A`. Use [`ConeProgramBuilder`] to
+/// assemble one; the builder takes care of the canonical cone ordering
+/// (zero, nonnegative, second-order, PSD).
+#[derive(Debug, Clone)]
+pub struct ConeProgram {
+    /// Objective coefficients (length = number of variables).
+    pub c: Vec<f64>,
+    /// Constraint matrix (rows = total cone dimension).
+    pub a: CsrMat,
+    /// Right-hand side (length = rows of `a`).
+    pub b: Vec<f64>,
+    /// Cone blocks, in row order.
+    pub cones: Vec<Cone>,
+}
+
+impl ConeProgram {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConicError::InvalidProgram`] when dimensions disagree
+    /// or any entry is non-finite.
+    pub fn validate(&self) -> Result<(), ConicError> {
+        let m = total_dim(&self.cones);
+        if self.b.len() != m {
+            return Err(ConicError::InvalidProgram {
+                reason: format!("b has {} rows but cones total {}", self.b.len(), m),
+            });
+        }
+        if self.a.nrows() != m {
+            return Err(ConicError::InvalidProgram {
+                reason: format!("A has {} rows but cones total {}", self.a.nrows(), m),
+            });
+        }
+        if self.a.ncols() != self.c.len() {
+            return Err(ConicError::InvalidProgram {
+                reason: format!(
+                    "A has {} columns but c has {} entries",
+                    self.a.ncols(),
+                    self.c.len()
+                ),
+            });
+        }
+        if !self.c.iter().all(|v| v.is_finite()) || !self.b.iter().all(|v| v.is_finite()) {
+            return Err(ConicError::InvalidProgram {
+                reason: "c and b must be finite".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Row destined for one of the builder's cone buckets.
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    rhs: f64,
+}
+
+/// Incrementally assembles a [`ConeProgram`].
+///
+/// Constraints may be added in any order; [`build`](Self::build) emits
+/// them in the canonical cone order zero → nonnegative → second-order
+/// → PSD.
+///
+/// # Example
+///
+/// ```
+/// use gfp_conic::ConeProgramBuilder;
+///
+/// # fn main() -> Result<(), gfp_conic::ConicError> {
+/// // min -x0 - x1  s.t.  x0 + x1 <= 1, x >= 0
+/// let mut b = ConeProgramBuilder::new(2);
+/// b.set_objective_coeff(0, -1.0);
+/// b.set_objective_coeff(1, -1.0);
+/// b.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
+/// b.add_ge(&[(0, 1.0)], 0.0);
+/// b.add_ge(&[(1, 1.0)], 0.0);
+/// let p = b.build()?;
+/// assert_eq!(p.num_rows(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConeProgramBuilder {
+    num_vars: usize,
+    c: Vec<f64>,
+    eq_rows: Vec<Row>,
+    ineq_rows: Vec<Row>,
+    soc_blocks: Vec<Vec<Row>>,
+    /// PSD blocks expressed directly over variables: each block lists
+    /// the variable index occupying each svec slot.
+    psd_var_blocks: Vec<Vec<usize>>,
+}
+
+impl ConeProgramBuilder {
+    /// Creates a builder for a program with `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        ConeProgramBuilder {
+            num_vars,
+            c: vec![0.0; num_vars],
+            eq_rows: Vec::new(),
+            ineq_rows: Vec::new(),
+            soc_blocks: Vec::new(),
+            psd_var_blocks: Vec::new(),
+        }
+    }
+
+    /// Number of variables this builder was created with.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sets (overwrites) the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) -> &mut Self {
+        assert!(var < self.num_vars, "objective variable out of range");
+        self.c[var] = coeff;
+        self
+    }
+
+    /// Adds `coeff` to the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn add_objective_coeff(&mut self, var: usize, coeff: f64) -> &mut Self {
+        assert!(var < self.num_vars, "objective variable out of range");
+        self.c[var] += coeff;
+        self
+    }
+
+    /// Adds the equality constraint `Σ coeffs·x = rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_eq(&mut self, coeffs: &[(usize, f64)], rhs: f64) -> &mut Self {
+        self.check(coeffs);
+        self.eq_rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rhs,
+        });
+        self
+    }
+
+    /// Adds the inequality `Σ coeffs·x ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_le(&mut self, coeffs: &[(usize, f64)], rhs: f64) -> &mut Self {
+        self.check(coeffs);
+        self.ineq_rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rhs,
+        });
+        self
+    }
+
+    /// Adds the inequality `Σ coeffs·x ≥ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_ge(&mut self, coeffs: &[(usize, f64)], rhs: f64) -> &mut Self {
+        let neg: Vec<(usize, f64)> = coeffs.iter().map(|&(i, v)| (i, -v)).collect();
+        self.add_le(&neg, -rhs)
+    }
+
+    /// Adds a second-order-cone block: the stacked affine expressions
+    /// `rhs_k − Σ coeffs_k·x` (one per row, first row is the cone
+    /// "t" component) must lie in the SOC.
+    ///
+    /// Equivalently: `‖(e₁, …)‖ ≤ e₀` where `e_k = rhs_k − Σ coeffs_k·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range or `rows` is empty.
+    pub fn add_soc(&mut self, rows: &[(&[(usize, f64)], f64)]) -> &mut Self {
+        assert!(!rows.is_empty(), "SOC block must have at least one row");
+        let mut block = Vec::with_capacity(rows.len());
+        for &(coeffs, rhs) in rows {
+            self.check(coeffs);
+            block.push(Row {
+                coeffs: coeffs.to_vec(),
+                rhs,
+            });
+        }
+        self.soc_blocks.push(block);
+        self
+    }
+
+    /// Declares that the variables listed in `svec_vars` (interpreted
+    /// as the scaled `svec` of a symmetric matrix, lower triangle
+    /// column-major) must form a PSD matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a triangular number or any index is
+    /// out of range.
+    pub fn add_psd_vars(&mut self, svec_vars: &[usize]) -> &mut Self {
+        assert!(
+            gfp_linalg::svec::svec_dim(svec_vars.len()).is_some(),
+            "PSD block length must be a triangular number"
+        );
+        for &v in svec_vars {
+            assert!(v < self.num_vars, "PSD variable out of range");
+        }
+        self.psd_var_blocks.push(svec_vars.to_vec());
+        self
+    }
+
+    fn check(&self, coeffs: &[(usize, f64)]) {
+        for &(i, _) in coeffs {
+            assert!(i < self.num_vars, "constraint variable {i} out of range");
+        }
+    }
+
+    /// Assembles the final [`ConeProgram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConicError::InvalidProgram`] if validation fails
+    /// (e.g. non-finite data).
+    pub fn build(&self) -> Result<ConeProgram, ConicError> {
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut b: Vec<f64> = Vec::new();
+        let mut cones: Vec<Cone> = Vec::new();
+        let mut row = 0usize;
+
+        // Zero cone rows: A x + s = b, s = 0  =>  Σ coeffs·x = rhs.
+        if !self.eq_rows.is_empty() {
+            for r in &self.eq_rows {
+                for &(i, v) in &r.coeffs {
+                    triplets.push((row, i, v));
+                }
+                b.push(r.rhs);
+                row += 1;
+            }
+            cones.push(Cone::Zero(self.eq_rows.len()));
+        }
+
+        // NonNeg rows: Σ coeffs·x ≤ rhs  =>  s = rhs − Σ coeffs·x ≥ 0.
+        if !self.ineq_rows.is_empty() {
+            for r in &self.ineq_rows {
+                for &(i, v) in &r.coeffs {
+                    triplets.push((row, i, v));
+                }
+                b.push(r.rhs);
+                row += 1;
+            }
+            cones.push(Cone::NonNeg(self.ineq_rows.len()));
+        }
+
+        // SOC blocks: s = rhs − A x ∈ SOC.
+        for block in &self.soc_blocks {
+            for r in block {
+                for &(i, v) in &r.coeffs {
+                    triplets.push((row, i, v));
+                }
+                b.push(r.rhs);
+                row += 1;
+            }
+            cones.push(Cone::Soc(block.len()));
+        }
+
+        // PSD blocks over variables: s = x_block  =>  −x + s = 0.
+        for block in &self.psd_var_blocks {
+            let n = gfp_linalg::svec::svec_dim(block.len()).expect("checked in add_psd_vars");
+            for &var in block {
+                triplets.push((row, var, -1.0));
+                b.push(0.0);
+                row += 1;
+            }
+            cones.push(Cone::Psd(n));
+        }
+
+        let a = CsrMat::from_triplets(row, self.num_vars, &triplets);
+        let program = ConeProgram {
+            c: self.c.clone(),
+            a,
+            b,
+            cones,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_canonical_cone_order() {
+        let mut b = ConeProgramBuilder::new(3);
+        b.add_psd_vars(&[0, 1, 2]);
+        b.add_le(&[(0, 1.0)], 5.0);
+        b.add_eq(&[(1, 2.0)], 1.0);
+        b.add_soc(&[(&[(2, 1.0)], 0.0), (&[], 3.0)]);
+        let p = b.build().unwrap();
+        assert!(matches!(p.cones[0], Cone::Zero(1)));
+        assert!(matches!(p.cones[1], Cone::NonNeg(1)));
+        assert!(matches!(p.cones[2], Cone::Soc(2)));
+        assert!(matches!(p.cones[3], Cone::Psd(2)));
+        assert_eq!(p.num_rows(), 1 + 1 + 2 + 3);
+    }
+
+    #[test]
+    fn ge_is_negated_le() {
+        let mut b = ConeProgramBuilder::new(1);
+        b.add_ge(&[(0, 2.0)], 4.0); // 2x >= 4  =>  -2x <= -4
+        let p = b.build().unwrap();
+        let dense = p.a.to_dense();
+        assert_eq!(dense[(0, 0)], -2.0);
+        assert_eq!(p.b[0], -4.0);
+    }
+
+    #[test]
+    fn validate_catches_nonfinite() {
+        let mut b = ConeProgramBuilder::new(1);
+        b.set_objective_coeff(0, f64::NAN);
+        b.add_eq(&[(0, 1.0)], 0.0);
+        assert!(matches!(
+            b.build(),
+            Err(ConicError::InvalidProgram { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_checks_variable_bounds() {
+        let mut b = ConeProgramBuilder::new(1);
+        b.add_eq(&[(3, 1.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangular")]
+    fn psd_block_must_be_triangular() {
+        let mut b = ConeProgramBuilder::new(4);
+        b.add_psd_vars(&[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn objective_accumulation() {
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, 1.0);
+        b.add_objective_coeff(0, 2.0);
+        b.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
+        let p = b.build().unwrap();
+        assert_eq!(p.c[0], 3.0);
+    }
+}

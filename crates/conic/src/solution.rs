@@ -1,0 +1,63 @@
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// All residuals met the requested tolerance.
+    Optimal,
+    /// Residuals met a relaxed (10×) tolerance before the iteration
+    /// budget ran out; the solution is usable but less accurate.
+    Inaccurate,
+    /// The iteration budget was exhausted without meeting even the
+    /// relaxed tolerance. The returned iterate is the last one.
+    MaxIterations,
+}
+
+impl SolveStatus {
+    /// Whether the solution can be used downstream.
+    pub fn is_usable(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Inaccurate)
+    }
+}
+
+/// Convergence diagnostics reported with every solve.
+#[derive(Debug, Clone)]
+pub struct SolveInfo {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Relative primal residual `‖Ax + s − b‖ / (1 + ‖b‖)`.
+    pub primal_residual: f64,
+    /// Relative dual residual `‖Aᵀy + c‖ / (1 + ‖c‖)`.
+    pub dual_residual: f64,
+    /// Relative duality gap `|cᵀx + bᵀy| / (1 + |cᵀx| + |bᵀy|)`.
+    pub duality_gap: f64,
+    /// Wall-clock solve time in seconds.
+    pub solve_seconds: f64,
+}
+
+/// A primal-dual solution of a [`ConeProgram`](crate::ConeProgram).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Primal variables.
+    pub x: Vec<f64>,
+    /// Dual variables (one per constraint row), `y ∈ K*`.
+    pub y: Vec<f64>,
+    /// Primal slacks, `s ∈ K`.
+    pub s: Vec<f64>,
+    /// Primal objective `cᵀx`.
+    pub objective: f64,
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Convergence diagnostics.
+    pub info: SolveInfo,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_usability() {
+        assert!(SolveStatus::Optimal.is_usable());
+        assert!(SolveStatus::Inaccurate.is_usable());
+        assert!(!SolveStatus::MaxIterations.is_usable());
+    }
+}

@@ -1,0 +1,264 @@
+//! Accuracy enhancements from Section IV-B of the paper.
+//!
+//! * **Manhattan reweighting** (Eq. 20): at iteration `t` the
+//!   connectivity is rescaled by `M_ij / D_ij` of the previous layout,
+//!   so the quadratic objective tracks true (Manhattan) wirelength.
+//! * **Hyper-edge model**: a net only pulls on module pairs that sit
+//!   on the boundary of the net's bounding box in the previous layout
+//!   (the HPWL net model of Kraftwerk2 \[11\]).
+//!
+//! The non-square `k_ij` constraints (Eq. 25–26) live in
+//! [`GlobalFloorplanProblem::distance_bounds`] since they reshape the
+//! constraint set, not the objective.
+
+use gfp_linalg::Mat;
+
+use crate::GlobalFloorplanProblem;
+
+/// Which objective enhancements are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Enhancements {
+    /// Adaptive Manhattan-distance reweighting (Eq. 20).
+    pub manhattan: bool,
+    /// Hyper-edge bounding-box net model.
+    pub hyperedge: bool,
+}
+
+impl Enhancements {
+    /// No enhancements: the basic algorithm of Section IV-A.
+    pub fn none() -> Self {
+        Enhancements::default()
+    }
+
+    /// Everything on (the paper's best, "yellow", configuration in
+    /// Fig. 4 — combined with aspect limit 3 in [`crate::ProblemOptions`]).
+    pub fn full() -> Self {
+        Enhancements {
+            manhattan: true,
+            hyperedge: true,
+        }
+    }
+}
+
+/// Computes the effective connectivity for the next iteration from the
+/// previous layout. With no enhancements (or no previous layout yet)
+/// this is the base clique matrix `A`.
+pub fn effective_adjacency(
+    problem: &GlobalFloorplanProblem,
+    cfg: Enhancements,
+    previous: Option<&[(f64, f64)]>,
+) -> Mat {
+    let base = if cfg.hyperedge {
+        match previous {
+            Some(pos) => hyperedge_adjacency(problem, pos),
+            None => problem.a.clone(),
+        }
+    } else {
+        problem.a.clone()
+    };
+    match (cfg.manhattan, previous) {
+        (true, Some(pos)) => manhattan_reweight(&base, pos, distance_floor(problem)),
+        _ => base,
+    }
+}
+
+/// The guard floor for `D_ij` in the Manhattan ratio: a thousandth of
+/// the chip scale, squared — prevents blow-ups when two modules
+/// transiently coincide.
+fn distance_floor(problem: &GlobalFloorplanProblem) -> f64 {
+    let scale = problem.total_area().sqrt();
+    (1e-3 * scale).powi(2)
+}
+
+/// Applies Eq. (20): `A'_ij = A_ij · M_ij / max(D_ij, floor)` where
+/// `M` is the Manhattan distance and `D` the Euclidean distance
+/// square of the previous layout.
+///
+/// # Panics
+///
+/// Panics if `positions.len()` differs from the matrix dimension.
+pub fn manhattan_reweight(a: &Mat, positions: &[(f64, f64)], floor: f64) -> Mat {
+    let n = a.nrows();
+    assert_eq!(positions.len(), n, "positions length mismatch");
+    let mut out = a.clone();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || a[(i, j)] == 0.0 {
+                continue;
+            }
+            let dx = (positions[i].0 - positions[j].0).abs();
+            let dy = (positions[i].1 - positions[j].1).abs();
+            let m = dx + dy;
+            let d2 = (dx * dx + dy * dy).max(floor);
+            let m = m.max(floor.sqrt());
+            out[(i, j)] = a[(i, j)] * m / d2;
+        }
+    }
+    out
+}
+
+/// The hyper-edge (HPWL) net model: for each net, only modules on the
+/// boundary of the net's bounding box in the previous layout interact,
+/// with the net weight spread as `w / (k − 1)` across boundary pairs.
+///
+/// # Panics
+///
+/// Panics if `positions.len()` differs from the module count.
+pub fn hyperedge_adjacency(
+    problem: &GlobalFloorplanProblem,
+    positions: &[(f64, f64)],
+) -> Mat {
+    let n = problem.n;
+    assert_eq!(positions.len(), n, "positions length mismatch");
+    let mut a = Mat::zeros(n, n);
+    for (weight, mods) in &problem.hyperedges {
+        if mods.len() < 2 {
+            continue;
+        }
+        if mods.len() == 2 {
+            let (i, j) = (mods[0], mods[1]);
+            a[(i, j)] += *weight;
+            a[(j, i)] += *weight;
+            continue;
+        }
+        // Bounding-box boundary modules in the previous layout.
+        let eps = 1e-12;
+        let min_x = mods.iter().map(|&m| positions[m].0).fold(f64::MAX, f64::min);
+        let max_x = mods.iter().map(|&m| positions[m].0).fold(f64::MIN, f64::max);
+        let min_y = mods.iter().map(|&m| positions[m].1).fold(f64::MAX, f64::min);
+        let max_y = mods.iter().map(|&m| positions[m].1).fold(f64::MIN, f64::max);
+        let boundary: Vec<usize> = mods
+            .iter()
+            .copied()
+            .filter(|&m| {
+                let (x, y) = positions[m];
+                (x - min_x).abs() < eps
+                    || (max_x - x).abs() < eps
+                    || (y - min_y).abs() < eps
+                    || (max_y - y).abs() < eps
+            })
+            .collect();
+        if boundary.len() < 2 {
+            continue;
+        }
+        let w = weight / (boundary.len() as f64 - 1.0);
+        for (bi, &i) in boundary.iter().enumerate() {
+            for &j in &boundary[bi + 1..] {
+                a[(i, j)] += w;
+                a[(j, i)] += w;
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::{suite, Module, Net, Netlist, PinRef};
+
+    fn problem() -> GlobalFloorplanProblem {
+        let b = suite::gsrc_n10();
+        GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn no_enhancements_returns_base() {
+        let p = problem();
+        let a = effective_adjacency(&p, Enhancements::none(), None);
+        assert!((&a - &p.a).norm_max() < 1e-15);
+        // Even with previous positions, plain config returns base A.
+        let pos = p.spread_positions();
+        let a2 = effective_adjacency(&p, Enhancements::none(), Some(&pos));
+        assert!((&a2 - &p.a).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn first_iteration_without_positions_uses_base() {
+        let p = problem();
+        let a = effective_adjacency(&p, Enhancements::full(), None);
+        assert!((&a - &p.a).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn manhattan_ratio_is_exact_for_known_geometry() {
+        // Two modules at distance (3, 4): M = 7, D = 25 => ratio 7/25.
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 1)] = 10.0;
+        a[(1, 0)] = 10.0;
+        let pos = [(0.0, 0.0), (3.0, 4.0)];
+        let out = manhattan_reweight(&a, &pos, 1e-12);
+        assert!((out[(0, 1)] - 10.0 * 7.0 / 25.0).abs() < 1e-12);
+        assert!(out.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn manhattan_floor_prevents_blowup() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let pos = [(0.0, 0.0), (0.0, 0.0)]; // coincident!
+        let out = manhattan_reweight(&a, &pos, 1.0);
+        assert!(out[(0, 1)].is_finite());
+        assert!(out[(0, 1)] <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn hyperedge_keeps_two_pin_nets() {
+        let nl = Netlist::new(
+            vec![
+                Module::new("a", 4.0),
+                Module::new("b", 4.0),
+                Module::new("c", 4.0),
+            ],
+            vec![],
+            vec![Net::new("n", vec![PinRef::Module(0), PinRef::Module(1)])],
+        )
+        .unwrap();
+        let p = GlobalFloorplanProblem::from_netlist(&nl, &ProblemOptions::default()).unwrap();
+        let pos = [(0.0, 0.0), (5.0, 0.0), (99.0, 99.0)];
+        let a = hyperedge_adjacency(&p, &pos);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn hyperedge_drops_interior_module() {
+        // 3-pin net with one module strictly inside the bbox of the
+        // other two: the interior module receives no pull.
+        let nl = Netlist::new(
+            vec![
+                Module::new("a", 4.0),
+                Module::new("b", 4.0),
+                Module::new("c", 4.0),
+            ],
+            vec![],
+            vec![Net::new(
+                "n",
+                vec![PinRef::Module(0), PinRef::Module(1), PinRef::Module(2)],
+            )],
+        )
+        .unwrap();
+        let p = GlobalFloorplanProblem::from_netlist(&nl, &ProblemOptions::default()).unwrap();
+        // b is strictly inside bbox(a, c) in both axes.
+        let pos = [(0.0, 0.0), (1.0, 1.0), (4.0, 4.0)];
+        let a = hyperedge_adjacency(&p, &pos);
+        assert!(a[(0, 2)] > 0.0);
+        assert_eq!(a[(0, 1)], 0.0);
+        assert_eq!(a[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn enhanced_adjacency_stays_symmetric_nonneg() {
+        let p = problem();
+        let pos = p.spread_positions();
+        let a = effective_adjacency(&p, Enhancements::full(), Some(&pos));
+        assert!(a.is_symmetric(1e-12));
+        for i in 0..p.n {
+            for j in 0..p.n {
+                assert!(a[(i, j)] >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use gfp_conic::ConicError;
+use gfp_linalg::LinalgError;
+use gfp_netlist::NetlistError;
+
+/// Errors produced by the SDP floorplanner.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// The problem definition is unusable.
+    InvalidProblem {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested backend cannot handle this problem (e.g. the
+    /// barrier IPM with pre-placed modules, which destroy the strict
+    /// interior).
+    UnsupportedByBackend {
+        /// Which backend refused.
+        backend: &'static str,
+        /// Why.
+        reason: String,
+    },
+    /// The conic solver failed.
+    Conic(ConicError),
+    /// A linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// Netlist construction failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::InvalidProblem { reason } => {
+                write!(f, "invalid floorplanning problem: {reason}")
+            }
+            FloorplanError::UnsupportedByBackend { backend, reason } => {
+                write!(f, "{backend} backend cannot solve this problem: {reason}")
+            }
+            FloorplanError::Conic(e) => write!(f, "conic solver failure: {e}"),
+            FloorplanError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            FloorplanError::Netlist(e) => write!(f, "netlist failure: {e}"),
+        }
+    }
+}
+
+impl Error for FloorplanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FloorplanError::Conic(e) => Some(e),
+            FloorplanError::Linalg(e) => Some(e),
+            FloorplanError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConicError> for FloorplanError {
+    fn from(e: ConicError) -> Self {
+        FloorplanError::Conic(e)
+    }
+}
+
+impl From<LinalgError> for FloorplanError {
+    fn from(e: LinalgError) -> Self {
+        FloorplanError::Linalg(e)
+    }
+}
+
+impl From<NetlistError> for FloorplanError {
+    fn from(e: NetlistError) -> Self {
+        FloorplanError::Netlist(e)
+    }
+}

@@ -1,0 +1,556 @@
+//! The overall convex-iteration driver (Algorithm 1 of the paper).
+//!
+//! For each rank-penalty coefficient `α` (doubled until the rank
+//! certificate holds), the two sub-problems are solved alternately:
+//! sub-problem 1 produces `Z` given the direction matrix `W`;
+//! sub-problem 2 produces the optimal `W` for that `Z` in closed form.
+//! The enhancement hooks update the effective connectivity between
+//! iterations (Eq. 20 and the hyper-edge model).
+
+use gfp_conic::ipm::BarrierSettings;
+use gfp_conic::{AdmmSettings, SolveStatus};
+use gfp_linalg::Mat;
+
+use crate::enhance::{effective_adjacency, Enhancements};
+use crate::lifted::{objective_matrix, Lift};
+use crate::subproblems::{solve_subproblem1, solve_subproblem2, Sp1Backend};
+use crate::{FloorplanError, GlobalFloorplanProblem};
+
+/// Conic backend selection for sub-problem 1.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Scalable ADMM (default).
+    Admm(AdmmSettings),
+    /// Dense barrier IPM — accurate, small instances only, no PPM.
+    Ipm(BarrierSettings),
+}
+
+/// Settings of the overall algorithm (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct FloorplannerSettings {
+    /// Initial rank penalty `α` (paper: 0.5, or 1024 for n ≥ 100).
+    pub alpha0: f64,
+    /// Multiplicative `α` growth per outer round (paper: 2).
+    pub alpha_growth: f64,
+    /// Maximum outer (α-doubling) rounds.
+    pub max_alpha_rounds: usize,
+    /// Maximum convex iterations per α (paper's `max_iter`).
+    pub max_iter: usize,
+    /// Inner convergence threshold on
+    /// `‖Z_t − Z_{t−1}‖_F / ‖Z_t‖_F + ‖W_t − W_{t−1}‖_F / n`.
+    pub eps_conv: f64,
+    /// Rank certificate threshold: stop when
+    /// `<W, Z> / trace(Z) < eps_rank`.
+    pub eps_rank: f64,
+    /// Objective enhancements (Manhattan, hyper-edge).
+    pub enhancements: Enhancements,
+    /// Sub-problem-1 backend.
+    pub backend: Backend,
+    /// Warm-start each sub-problem-1 solve from the previous `Z`.
+    pub warm_start: bool,
+    /// Reset the direction matrix `W` to the identity (trace
+    /// heuristic) at the start of every α round, exactly as Algorithm
+    /// 1 line 3 prescribes. With generous inner budgets this matches
+    /// the paper; with small budgets carrying `W` over (the default)
+    /// converges to rank 2 far more reliably, since the direction
+    /// stays aligned while α grows.
+    pub reset_direction: bool,
+}
+
+impl Default for FloorplannerSettings {
+    fn default() -> Self {
+        FloorplannerSettings {
+            alpha0: 1.0,
+            alpha_growth: 4.0,
+            max_alpha_rounds: 12,
+            max_iter: 50,
+            eps_conv: 1e-3,
+            eps_rank: 1e-3,
+            enhancements: Enhancements::full(),
+            backend: Backend::Admm(AdmmSettings {
+                eps: 1e-6,
+                max_iter: 20_000,
+                ..AdmmSettings::default()
+            }),
+            warm_start: true,
+            reset_direction: false,
+        }
+    }
+}
+
+impl FloorplannerSettings {
+    /// A reduced-budget configuration for tests, demos and CI: fewer
+    /// iterations and a looser ADMM tolerance. Quality is a few
+    /// percent off the default; runtime is an order of magnitude down.
+    pub fn fast() -> Self {
+        FloorplannerSettings {
+            alpha0: 16.0,
+            alpha_growth: 8.0,
+            max_alpha_rounds: 7,
+            max_iter: 6,
+            eps_conv: 2e-3,
+            eps_rank: 5e-3,
+            backend: Backend::Admm(AdmmSettings {
+                eps: 1e-5,
+                max_iter: 8000,
+                ..AdmmSettings::default()
+            }),
+            ..FloorplannerSettings::default()
+        }
+    }
+}
+
+/// One inner-iteration record, powering the convergence plots
+/// (Fig. 5a) and the α sweeps (Fig. 4).
+#[derive(Debug, Clone, Copy)]
+pub struct IterTrace {
+    /// Rank penalty in effect.
+    pub alpha: f64,
+    /// Global inner-iteration counter (across α rounds).
+    pub iteration: usize,
+    /// Quadratic wirelength `Σ A_ij D_ij` + pad terms under the
+    /// **original** connectivity (comparable across enhancements).
+    pub wirelength: f64,
+    /// Rank gap `<W, Z>`.
+    pub rank_gap: f64,
+    /// Sub-problem-1 wall-clock seconds.
+    pub sp1_seconds: f64,
+    /// Sub-problem-1 solver status.
+    pub sp1_status: SolveStatus,
+}
+
+/// The result of a global floorplanning run.
+#[derive(Debug, Clone)]
+pub struct GlobalFloorplan {
+    /// Module centers (`X = Z[2:, :2]`, Algorithm 1's return value).
+    pub positions: Vec<(f64, f64)>,
+    /// Quadratic wirelength of the final layout (original `A`).
+    pub objective: f64,
+    /// Final relative rank gap `<W, Z> / trace(Z)`.
+    pub rank_gap: f64,
+    /// Final α.
+    pub alpha: f64,
+    /// Whether the rank certificate was met.
+    pub converged: bool,
+    /// Total inner iterations across all α rounds.
+    pub iterations: usize,
+    /// Per-iteration trace.
+    pub trace: Vec<IterTrace>,
+}
+
+/// The SDP-based global floorplanner (Algorithm 1).
+///
+/// See the [crate-level quickstart](crate).
+#[derive(Debug, Clone)]
+pub struct SdpFloorplanner {
+    settings: FloorplannerSettings,
+}
+
+impl SdpFloorplanner {
+    /// Creates a floorplanner with the given settings.
+    pub fn new(settings: FloorplannerSettings) -> Self {
+        SdpFloorplanner { settings }
+    }
+
+    /// The active settings.
+    pub fn settings(&self) -> &FloorplannerSettings {
+        &self.settings
+    }
+
+    /// Runs Algorithm 1 on the problem.
+    ///
+    /// # Errors
+    ///
+    /// Backend and encoding failures; see [`FloorplanError`]. Hitting
+    /// the iteration budgets is **not** an error — the best iterate is
+    /// returned with [`GlobalFloorplan::converged`] `false`.
+    pub fn solve(
+        &self,
+        problem: &GlobalFloorplanProblem,
+    ) -> Result<GlobalFloorplan, FloorplanError> {
+        let st = &self.settings;
+        // Work in normalized (unit length-scale) coordinates: the ADMM
+        // backend needs the lifted matrix to have O(1) entries.
+        let scale = problem.length_scale();
+        let norm = problem.normalized();
+        let problem = &norm;
+        let n = problem.n;
+        let lift = Lift::new(n);
+        let backend = match &st.backend {
+            Backend::Admm(s) => Sp1Backend::Admm(s.clone()),
+            Backend::Ipm(s) => Sp1Backend::Ipm(s.clone()),
+        };
+
+        let mut alpha = st.alpha0;
+        let mut trace: Vec<IterTrace> = Vec::new();
+        let mut global_iter = 0usize;
+        let mut best: Option<(Vec<(f64, f64)>, f64, f64)> = None; // (pos, wl, gap)
+        // Start from a spread embedding rather than zero: the
+        // all-zero X branch is a spurious fixed point of the convex
+        // iteration (W then spans the pinned identity block, whose
+        // trace contribution cannot be reduced).
+        let mut warm_z: Option<Vec<f64>> = if st.warm_start {
+            Some(lift.embed_positions(&problem.spread_positions(), 0.0))
+        } else {
+            None
+        };
+        let mut converged = false;
+        let mut final_alpha = alpha;
+
+        let mut carried_w: Option<Mat> = None;
+        'outer: for _round in 0..st.max_alpha_rounds {
+            final_alpha = alpha;
+            // Algorithm 1 lines 2–4: W starts from the trace heuristic
+            // (identity) and B from the base matrix. When
+            // `reset_direction` is off, W instead carries over from the
+            // previous α round (see the setting's docs).
+            let mut w = match (&carried_w, st.reset_direction) {
+                (Some(w), false) => w.clone(),
+                _ => Mat::identity(lift.nn),
+            };
+            let mut a_eff = effective_adjacency(problem, st.enhancements, None);
+            let mut prev_z: Option<Vec<f64>> = None;
+            let mut prev_w: Option<Mat> = None;
+
+            for _t in 0..st.max_iter {
+                global_iter += 1;
+                let objective = objective_matrix(problem, &a_eff, Some((&w, alpha)));
+                let warm = if st.warm_start {
+                    warm_z.as_deref()
+                } else {
+                    None
+                };
+                let sp1 = solve_subproblem1(problem, &a_eff, &objective, &backend, warm)?;
+                let z = sp1.z.clone();
+                let z_mat = lift.z_matrix(&z);
+                let (w_new, gap) = solve_subproblem2(&z_mat, n)?;
+
+                // Diagnostics in original-connectivity units.
+                let positions = lift.extract_positions(&z);
+                let wirelength =
+                    crate::diagnostics::quadratic_wirelength(problem, &positions) * scale * scale;
+                trace.push(IterTrace {
+                    alpha,
+                    iteration: global_iter,
+                    wirelength,
+                    rank_gap: gap,
+                    sp1_seconds: sp1.solve_seconds,
+                    sp1_status: sp1.status,
+                });
+
+                let trace_z = z_mat.trace().max(1e-300);
+                let rel_gap = (gap / trace_z).max(0.0);
+                match &mut best {
+                    Some((bp, bw, bg)) => {
+                        // Prefer rank-certified iterates (their X block is a
+                        // genuine layout); among certified, lower wirelength;
+                        // among uncertified, smaller rank gap.
+                        let cert_now = rel_gap < st.eps_rank;
+                        let cert_best = *bg < st.eps_rank;
+                        let better = match (cert_now, cert_best) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            (true, true) => wirelength < *bw,
+                            (false, false) => rel_gap < *bg,
+                        };
+                        if better {
+                            *bp = positions.clone();
+                            *bw = wirelength;
+                            *bg = rel_gap;
+                        }
+                    }
+                    None => best = Some((positions.clone(), wirelength, rel_gap)),
+                }
+
+                // Enhancement updates for the next iteration (Eq. 20).
+                a_eff = effective_adjacency(problem, st.enhancements, Some(&positions));
+
+                // Convergence of the inner loop (Algorithm 1 line 10).
+                let z_delta = match &prev_z {
+                    Some(pz) => {
+                        let num: f64 = z
+                            .iter()
+                            .zip(pz.iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt();
+                        let den: f64 =
+                            z.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+                        num / den
+                    }
+                    None => f64::INFINITY,
+                };
+                let w_delta = match &prev_w {
+                    Some(pw) => (&w_new - pw).norm_fro() / (n as f64),
+                    None => f64::INFINITY,
+                };
+                prev_z = Some(z.clone());
+                prev_w = Some(w_new.clone());
+                if st.warm_start {
+                    warm_z = Some(z);
+                }
+                w = w_new;
+                carried_w = Some(w.clone());
+
+                // Outer termination (Algorithm 1 line 12): rank satisfied.
+                if rel_gap < st.eps_rank && z_delta + w_delta < st.eps_conv {
+                    converged = true;
+                    break 'outer;
+                }
+                if z_delta + w_delta < st.eps_conv {
+                    break; // inner converged, rank not yet: escalate α
+                }
+            }
+
+            // Check rank after the inner loop as well.
+            if let Some((_, _, g)) = &best {
+                if *g < st.eps_rank {
+                    converged = true;
+                    break 'outer;
+                }
+            }
+            alpha *= st.alpha_growth;
+        }
+
+        let (mut positions, objective, rank_gap) = best.ok_or_else(|| {
+            FloorplanError::InvalidProblem {
+                reason: "no iterations executed (check iteration budgets)".into(),
+            }
+        })?;
+        for p in &mut positions {
+            p.0 *= scale;
+            p.1 *= scale;
+        }
+        Ok(GlobalFloorplan {
+            positions,
+            objective,
+            rank_gap,
+            alpha: final_alpha,
+            converged,
+            iterations: global_iter,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::check_distance_feasibility;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::suite;
+
+    fn tiny_settings() -> FloorplannerSettings {
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 4;
+        s
+    }
+
+    #[test]
+    fn solves_n10_and_separates_modules() {
+        let b = suite::gsrc_n10();
+        let p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        let fp = SdpFloorplanner::new(tiny_settings()).solve(&p).unwrap();
+        assert_eq!(fp.positions.len(), 10);
+        assert!(fp.iterations > 0);
+        assert!(!fp.trace.is_empty());
+        // The layout must be close to feasible: modules are spread, not
+        // collapsed onto a point (the trivial optimum previous methods hit).
+        let report = check_distance_feasibility(&p, &fp.positions, 0.10);
+        assert!(
+            report.violations <= report.pairs / 5,
+            "too many violated pairs: {report:?}"
+        );
+        // Non-trivial spread.
+        let (mut min_x, mut max_x) = (f64::MAX, f64::MIN);
+        for &(x, _) in &fp.positions {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+        }
+        assert!(max_x - min_x > 1.0, "layout collapsed");
+    }
+
+    #[test]
+    fn rank_gap_shrinks_along_trace() {
+        let b = suite::gsrc_n10();
+        let p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        let fp = SdpFloorplanner::new(tiny_settings()).solve(&p).unwrap();
+        let first = fp.trace.first().unwrap().rank_gap;
+        let last = fp.trace.last().unwrap().rank_gap;
+        assert!(
+            last <= first * 1.5 + 1e-9,
+            "rank gap grew: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn trace_alphas_follow_schedule() {
+        let b = suite::gsrc_n10();
+        let p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        let mut s = tiny_settings();
+        s.eps_rank = 1e-12; // unreachable: forces alpha escalation
+        s.max_iter = 2;
+        s.max_alpha_rounds = 3;
+        let fp = SdpFloorplanner::new(s.clone()).solve(&p).unwrap();
+        assert!(!fp.converged);
+        let alphas: Vec<f64> = fp.trace.iter().map(|t| t.alpha).collect();
+        assert!(alphas.windows(2).all(|w| w[1] >= w[0]));
+        assert!(*alphas.last().unwrap() > s.alpha0);
+    }
+
+    #[test]
+    fn outline_keeps_modules_inside() {
+        let b = suite::gsrc_n10();
+        let (nl, outline) = b.with_pads_on_outline(1.0);
+        let opts = ProblemOptions {
+            outline: Some(outline),
+            aspect_limit: 3.0,
+            ..ProblemOptions::default()
+        };
+        let p = GlobalFloorplanProblem::from_netlist(&nl, &opts).unwrap();
+        let fp = SdpFloorplanner::new(tiny_settings()).solve(&p).unwrap();
+        for (i, &(x, y)) in fp.positions.iter().enumerate() {
+            assert!(
+                x > -1.0 && x < outline.width + 1.0 && y > -1.0 && y < outline.height + 1.0,
+                "module {i} at ({x}, {y}) escaped outline {outline:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ppm_module_stays_put() {
+        let b = suite::gsrc_n10();
+        let (nl, outline) = b.with_pads_on_outline(1.0);
+        let (cx, cy) = outline.center();
+        let nl = nl.with_fixed_module(3, cx, cy);
+        let opts = ProblemOptions {
+            outline: Some(outline),
+            ..ProblemOptions::default()
+        };
+        let p = GlobalFloorplanProblem::from_netlist(&nl, &opts).unwrap();
+        let fp = SdpFloorplanner::new(tiny_settings()).solve(&p).unwrap();
+        let (x, y) = fp.positions[3];
+        let tol = 0.05 * outline.width;
+        assert!(
+            (x - cx).abs() < tol && (y - cy).abs() < tol,
+            "fixed module moved to ({x}, {y}), expected ({cx}, {cy})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod distance_control_tests {
+    use super::*;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::suite;
+
+    /// Section IV-D's "controllable area constraint": a user max-distance
+    /// constraint pulls a chosen pair together; a min-distance override
+    /// pushes another apart.
+    #[test]
+    fn max_distance_constraint_is_honored() {
+        let b = suite::gsrc_n10();
+        let mut p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        // Find a weakly connected pair to make the constraint binding.
+        let (i, j) = (0usize, 7usize);
+        let bound = {
+            let r = (p.radii[i] + p.radii[j]).powi(2);
+            r * 2.25 // allow 1.5x the tangency distance
+        };
+        p.add_max_distance(i, j, bound);
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 4;
+        let fp = SdpFloorplanner::new(s).solve(&p).unwrap();
+        let d2 = (fp.positions[i].0 - fp.positions[j].0).powi(2)
+            + (fp.positions[i].1 - fp.positions[j].1).powi(2);
+        assert!(
+            d2 <= bound * 1.15,
+            "pair ({i},{j}) distance² {d2:.1} exceeds bound {bound:.1}"
+        );
+    }
+
+    #[test]
+    fn min_distance_override_strengthens_bound() {
+        let b = suite::gsrc_n10();
+        let mut p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        let (i, j) = (1usize, 2usize);
+        let strong = 4.0 * (p.radii[i] + p.radii[j]).powi(2);
+        p.add_min_distance(i, j, strong);
+        let bounds = p.distance_bounds(&p.a);
+        let idx = i * p.n - i * (i + 1) / 2 + (j - i - 1);
+        assert!((bounds[idx] - strong).abs() < 1e-9);
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 4;
+        let fp = SdpFloorplanner::new(s).solve(&p).unwrap();
+        let d2 = (fp.positions[i].0 - fp.positions[j].0).powi(2)
+            + (fp.positions[i].1 - fp.positions[j].1).powi(2);
+        assert!(
+            d2 >= strong * 0.7,
+            "pair ({i},{j}) distance² {d2:.1} below strengthened bound {strong:.1}"
+        );
+    }
+
+    #[test]
+    fn normalized_scales_custom_bounds() {
+        let b = suite::gsrc_n10();
+        let mut p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        p.add_max_distance(0, 1, 1000.0);
+        let l = p.length_scale();
+        let norm = p.normalized();
+        assert!((norm.max_distance[0].2 - 1000.0 / (l * l)).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod ipm_backend_tests {
+    use super::*;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_conic::ipm::BarrierSettings;
+    use gfp_netlist::suite;
+
+    /// The dense IPM backend drives the full Algorithm 1 on a small
+    /// unconstrained instance and reaches a layout comparable to ADMM.
+    #[test]
+    fn ipm_backend_full_driver() {
+        let b = suite::gsrc_n10();
+        let p = GlobalFloorplanProblem::from_netlist(
+            &b.netlist,
+            &ProblemOptions::default(),
+        )
+        .unwrap();
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 3;
+        s.max_alpha_rounds = 4;
+        s.backend = Backend::Ipm(BarrierSettings {
+            eps: 1e-6,
+            ..BarrierSettings::default()
+        });
+        let ipm = SdpFloorplanner::new(s).solve(&p).unwrap();
+        assert_eq!(ipm.positions.len(), 10);
+        assert!(ipm.positions.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+        // The α escalation must drive the rank gap down overall (the
+        // per-iteration gap alone is not monotone — the convex
+        // iteration trades it against wirelength inside a round).
+        let first = ipm.trace.first().unwrap().rank_gap;
+        let last = ipm.trace.last().unwrap().rank_gap;
+        assert!(
+            last <= first,
+            "rank gap did not improve under IPM backend: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn paper_options_match_experimental_setup() {
+        let outline = gfp_netlist::Outline::new(100.0, 100.0);
+        let opts = ProblemOptions::paper(outline);
+        assert_eq!(opts.aspect_limit, 3.0);
+        assert!(opts.use_pads);
+        assert_eq!(opts.outline.unwrap(), outline);
+    }
+}

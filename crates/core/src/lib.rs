@@ -1,0 +1,57 @@
+//! SDP-based global floorplanning via convex iteration.
+//!
+//! This crate implements the primary contribution of *"Global
+//! Floorplanning via Semidefinite Programming"* (DAC 2023):
+//!
+//! 1. Each soft module `p_i` is a circle of radius `r_i = √(s_i/4)`.
+//! 2. Wirelength `Σ A_ij ‖x_i − x_j‖²` becomes `<B, G>` over the Gram
+//!    matrix `G = XᵀX` ([`problem`]).
+//! 3. The lift `Z = [[I, X], [Xᵀ, G]] ⪰ 0` with `rank(Z) = 2` turns
+//!    the problem into an SDP with a rank constraint ([`lifted`]).
+//! 4. The rank constraint is replaced by a direction-matrix penalty
+//!    `α <W, Z>` and solved by **convex iteration** between two
+//!    sub-problems ([`subproblems`], [`iterate`]):
+//!    sub-problem 1 is an SDP in `Z` (ADMM or barrier-IPM backend from
+//!    [`gfp_conic`]); sub-problem 2 has the closed-form solution
+//!    `W = U Uᵀ` over the `n` smallest eigenvectors of `Z`.
+//! 5. Enhancements from Section IV-B: adaptive Manhattan reweighting,
+//!    hyper-edge (HPWL) net model, boundary-pin objective terms, fixed
+//!    outline bounds, pre-placed-module constraints and the non-square
+//!    `k_ij` distance constraints ([`enhance`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gfp_core::{ProblemOptions, SdpFloorplanner, FloorplannerSettings};
+//! use gfp_netlist::suite;
+//!
+//! # fn main() -> Result<(), gfp_core::FloorplanError> {
+//! let bench = suite::gsrc_n10();
+//! let problem = gfp_core::GlobalFloorplanProblem::from_netlist(
+//!     &bench.netlist,
+//!     &ProblemOptions::default(),
+//! )?;
+//! let mut settings = FloorplannerSettings::fast();
+//! settings.max_iter = 3; // demo budget
+//! let result = SdpFloorplanner::new(settings).solve(&problem)?;
+//! assert_eq!(result.positions.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+
+pub mod diagnostics;
+pub mod enhance;
+pub mod hierarchical;
+pub mod iterate;
+pub mod lifted;
+pub mod problem;
+pub mod rounding;
+pub mod subproblems;
+
+pub use error::FloorplanError;
+pub use iterate::{
+    Backend, FloorplannerSettings, GlobalFloorplan, IterTrace, SdpFloorplanner,
+};
+pub use problem::{GlobalFloorplanProblem, ProblemOptions};

@@ -1,0 +1,160 @@
+//! Rank-2 rounding: extracting positions from a lifted solution whose
+//! rank certificate has **not** been met.
+//!
+//! Algorithm 1 returns the `X` block of `Z`, which is only meaningful
+//! at (near-)rank-2. When the iteration stops early, the Gram block
+//! `G` still encodes pairwise geometry; the best rank-2 factor of `G`
+//! (its top-2 eigenpairs) recovers a layout up to rotation and
+//! reflection, which a Procrustes alignment against the `X` block (or
+//! the pads) then fixes.
+
+use gfp_linalg::{eigh, Mat};
+
+use crate::lifted::Lift;
+use crate::FloorplanError;
+
+/// Extracts positions from `svec(Z)` via the best rank-2 factor of the
+/// Gram block, aligned to the `X` block by an orthogonal Procrustes
+/// step.
+///
+/// At a certified rank-2 solution this agrees with
+/// [`Lift::extract_positions`]; away from rank 2 it preserves the
+/// pairwise distances encoded in `G` much better.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures.
+///
+/// # Panics
+///
+/// Panics if `z.len()` does not match the lift dimension.
+pub fn extract_positions_gram(lift: &Lift, z: &[f64]) -> Result<Vec<(f64, f64)>, FloorplanError> {
+    assert_eq!(z.len(), lift.dim, "svec length mismatch");
+    let n = lift.n;
+    let g = lift.extract_gram(z);
+    let e = eigh(&g)?;
+    // Top-2 eigenpairs (ascending order: last two).
+    let mut y = Mat::zeros(2, n);
+    for (row, k) in [(0usize, n - 1), (1usize, n.saturating_sub(2))] {
+        if n < 2 {
+            break;
+        }
+        let lam = e.values[k].max(0.0).sqrt();
+        for i in 0..n {
+            y[(row, i)] = lam * e.vectors[(i, k)];
+        }
+    }
+    // Procrustes: find orthogonal Q minimizing ‖Qᵀ·Y − Xᵀ‖ where X is
+    // the lifted coordinate block; Q = polar factor of Y Xᵀ... compute
+    // M = Y Xblockᵀ (2x2), then Q from its SVD via eigendecompositions.
+    let xb = lift.extract_positions(z);
+    let mut m = Mat::zeros(2, 2);
+    for i in 0..n {
+        m[(0, 0)] += y[(0, i)] * xb[i].0;
+        m[(0, 1)] += y[(0, i)] * xb[i].1;
+        m[(1, 0)] += y[(1, i)] * xb[i].0;
+        m[(1, 1)] += y[(1, i)] * xb[i].1;
+    }
+    let q = polar_orthogonal_2x2(&m)?;
+    // Positions: columns of Qᵀ Y.
+    let out = (0..n)
+        .map(|i| {
+            (
+                q[(0, 0)] * y[(0, i)] + q[(1, 0)] * y[(1, i)],
+                q[(0, 1)] * y[(0, i)] + q[(1, 1)] * y[(1, i)],
+            )
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Orthogonal polar factor of a 2x2 matrix via `M (MᵀM)^{-1/2}`,
+/// falling back to the identity for (near-)singular `M` (no alignment
+/// information — e.g. `X = 0`).
+fn polar_orthogonal_2x2(m: &Mat) -> Result<Mat, FloorplanError> {
+    let mtm = m.transpose().matmul(m);
+    let e = eigh(&mtm)?;
+    if e.values[0].max(0.0).sqrt() < 1e-12 * (1.0 + e.values[1].abs()).sqrt() {
+        return Ok(Mat::identity(2));
+    }
+    // (MᵀM)^{-1/2} = V diag(1/√λ) Vᵀ
+    let mut inv_sqrt = Mat::zeros(2, 2);
+    for k in 0..2 {
+        let s = 1.0 / e.values[k].max(1e-300).sqrt();
+        for i in 0..2 {
+            for j in 0..2 {
+                inv_sqrt[(i, j)] += s * e.vectors[(i, k)] * e.vectors[(j, k)];
+            }
+        }
+    }
+    Ok(m.matmul(&inv_sqrt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairwise_error(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+        let n = a.len();
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let da = ((a[i].0 - a[j].0).powi(2) + (a[i].1 - a[j].1).powi(2)).sqrt();
+                let db = ((b[i].0 - b[j].0).powi(2) + (b[i].1 - b[j].1).powi(2)).sqrt();
+                worst = worst.max((da - db).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn agrees_with_x_block_at_rank2() {
+        let lift = Lift::new(6);
+        let pos: Vec<(f64, f64)> = (0..6)
+            .map(|i| (3.0 * i as f64, ((i * 2) % 5) as f64))
+            .collect();
+        let z = lift.embed_positions(&pos, 0.0);
+        let xb = lift.extract_positions(&z);
+        let gr = extract_positions_gram(&lift, &z).unwrap();
+        // Same pairwise geometry; alignment may flip but Procrustes
+        // against the (exact) X block recovers it entirely.
+        for (a, b) in xb.iter().zip(gr.iter()) {
+            assert!((a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn preserves_gram_distances_under_slack() {
+        // With slack the X block under-represents distances; the Gram
+        // extraction must match G's geometry much more closely.
+        let lift = Lift::new(5);
+        let pos: Vec<(f64, f64)> = (0..5).map(|i| (4.0 * i as f64, (i % 2) as f64 * 5.0)).collect();
+        let z = lift.embed_positions(&pos, 0.0);
+        // Corrupt: shrink the X block by half (simulating rank>2 mass).
+        let mut z2 = z.clone();
+        for i in 0..5 {
+            z2[lift.x_index(i, 0)] *= 0.5;
+            z2[lift.x_index(i, 1)] *= 0.5;
+        }
+        let xb = lift.extract_positions(&z2);
+        let gr = extract_positions_gram(&lift, &z2).unwrap();
+        let err_x = pairwise_error(&xb, &pos);
+        let err_g = pairwise_error(&gr, &pos);
+        assert!(err_g < 0.2 * err_x, "gram {err_g} vs x-block {err_x}");
+    }
+
+    #[test]
+    fn zero_x_block_falls_back_gracefully() {
+        let lift = Lift::new(4);
+        let pos: Vec<(f64, f64)> = (0..4).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let z = lift.embed_positions(&pos, 0.0);
+        let mut z2 = z.clone();
+        for i in 0..4 {
+            z2[lift.x_index(i, 0)] = 0.0;
+            z2[lift.x_index(i, 1)] = 0.0;
+        }
+        let gr = extract_positions_gram(&lift, &z2).unwrap();
+        // Distances still recovered (up to isometry).
+        assert!(pairwise_error(&gr, &pos) < 1e-6);
+    }
+}

@@ -1,0 +1,306 @@
+//! The two convex sub-problems of the iteration (Eq. 18 and 19).
+
+use std::time::Instant;
+
+use gfp_conic::ipm::{BarrierSdp, BarrierSettings};
+use gfp_conic::{AdmmSettings, AdmmSolver, SolveStatus};
+use gfp_linalg::{eigh, Mat};
+
+use crate::lifted::{build_admm_program, build_ipm_problem, Lift, LiftedObjective};
+use crate::{FloorplanError, GlobalFloorplanProblem};
+
+/// Which conic backend solves sub-problem 1.
+#[derive(Debug, Clone)]
+pub enum Sp1Backend {
+    /// The scalable ADMM solver.
+    Admm(AdmmSettings),
+    /// The small-but-accurate barrier interior-point method.
+    Ipm(BarrierSettings),
+}
+
+/// Result of one sub-problem-1 solve.
+#[derive(Debug, Clone)]
+pub struct Sp1Result {
+    /// Optimal `svec(Z)`.
+    pub z: Vec<f64>,
+    /// Objective value `<B̃ + αW, Z>` (without the pad constant).
+    pub objective: f64,
+    /// Backend status (always `Optimal` for the IPM).
+    pub status: SolveStatus,
+    /// Wall-clock seconds.
+    pub solve_seconds: f64,
+}
+
+/// Solves sub-problem 1 (Eq. 18): minimize `<B̃ + αW, Z>` subject to
+/// the distance, PPM, outline and PSD constraints.
+///
+/// `warm` supplies a previous `svec(Z)` for the ADMM backend (ignored
+/// by the IPM, which instead needs a strictly feasible start derived
+/// from [`GlobalFloorplanProblem::spread_positions`]).
+///
+/// # Errors
+///
+/// Backend and encoding failures; see [`FloorplanError`].
+pub fn solve_subproblem1(
+    problem: &GlobalFloorplanProblem,
+    a_eff: &Mat,
+    objective: &LiftedObjective,
+    backend: &Sp1Backend,
+    warm: Option<&[f64]>,
+) -> Result<Sp1Result, FloorplanError> {
+    let t0 = Instant::now();
+    match backend {
+        Sp1Backend::Admm(settings) => {
+            let program = build_admm_program(problem, a_eff, objective)?;
+            let solver = AdmmSolver::new(settings.clone());
+            let (sol, _trace) = solver.solve_with_trace(&program, warm)?;
+            Ok(Sp1Result {
+                objective: sol.objective,
+                status: sol.status,
+                z: sol.x,
+                solve_seconds: t0.elapsed().as_secs_f64(),
+            })
+        }
+        Sp1Backend::Ipm(settings) => {
+            let sdp = build_ipm_problem(problem, a_eff, objective)?;
+            let lift = Lift::new(problem.n);
+            let x0 = lift.embed_positions(&problem.spread_positions(), 1.0);
+            let sol = BarrierSdp::new(settings.clone()).solve_from(&sdp, &x0)?;
+            Ok(Sp1Result {
+                objective: sol.objective,
+                status: SolveStatus::Optimal,
+                z: sol.x,
+                solve_seconds: t0.elapsed().as_secs_f64(),
+            })
+        }
+    }
+}
+
+/// Solves sub-problem 2 (Eq. 19) in closed form: the minimizer of
+/// `<W, Z>` over `0 ⪯ W ⪯ I`, `trace W = n` is `W = U Uᵀ` with `U`
+/// spanning the eigenvectors of the `n` smallest eigenvalues of `Z`.
+///
+/// Returns `(W, <W, Z>)`; the inner product is the **rank gap** — it
+/// vanishes exactly when `rank(Z) ≤ 2`.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures.
+///
+/// # Panics
+///
+/// Panics if `z_mat` is not `(n+2) x (n+2)`.
+pub fn solve_subproblem2(z_mat: &Mat, n: usize) -> Result<(Mat, f64), FloorplanError> {
+    let nn = n + 2;
+    assert_eq!(z_mat.nrows(), nn, "Z must be (n+2)x(n+2)");
+    let e = eigh(z_mat)?;
+    // Eigenvalues ascend: the first n are the smallest.
+    let mut w = Mat::zeros(nn, nn);
+    let mut gap = 0.0;
+    for k in 0..n {
+        gap += e.values[k];
+        for i in 0..nn {
+            let vik = e.vectors[(i, k)];
+            if vik == 0.0 {
+                continue;
+            }
+            for j in 0..=i {
+                w[(i, j)] += vik * e.vectors[(j, k)];
+            }
+        }
+    }
+    for i in 0..nn {
+        for j in 0..i {
+            w[(j, i)] = w[(i, j)];
+        }
+    }
+    Ok((w, gap))
+}
+
+/// Cross-check: solves sub-problem 2 through the generic ADMM conic
+/// solver instead of the closed form. Exists to validate the closed
+/// form (and as a solver stress test); the iteration always uses
+/// [`solve_subproblem2`].
+///
+/// # Errors
+///
+/// Propagates conic solver failures.
+pub fn solve_subproblem2_via_sdp(z_mat: &Mat, n: usize) -> Result<(Mat, f64), FloorplanError> {
+    use gfp_conic::ConeProgramBuilder;
+    use gfp_linalg::svec::{smat, svec, svec_index, svec_len};
+    let nn = n + 2;
+    assert_eq!(z_mat.nrows(), nn, "Z must be (n+2)x(n+2)");
+    let d = svec_len(nn);
+    // Variables: svec(W). min <Z, W> s.t. trace W = n, W ⪰ 0, I − W ⪰ 0.
+    // Encode I − W ⪰ 0 with an auxiliary PSD block S = svec(I) − svec(W):
+    // variables [w (d), s (d)] with equality s + w = svec(I).
+    let mut b = ConeProgramBuilder::new(2 * d);
+    let zc = svec(z_mat);
+    for (j, &cj) in zc.iter().enumerate() {
+        b.set_objective_coeff(j, cj);
+    }
+    // trace W = n
+    let trace_coeffs: Vec<(usize, f64)> = (0..nn).map(|i| (svec_index(nn, i, i), 1.0)).collect();
+    b.add_eq(&trace_coeffs, n as f64);
+    // s = svec(I) − w
+    let id = svec(&Mat::identity(nn));
+    for j in 0..d {
+        b.add_eq(&[(j, 1.0), (d + j, 1.0)], id[j]);
+    }
+    b.add_psd_vars(&(0..d).collect::<Vec<_>>());
+    b.add_psd_vars(&(d..2 * d).collect::<Vec<_>>());
+    let program = b.build()?;
+    let sol = AdmmSolver::new(AdmmSettings {
+        eps: 1e-7,
+        max_iter: 30_000,
+        ..AdmmSettings::default()
+    })
+    .solve(&program)?;
+    let w = smat(&sol.x[..d]);
+    Ok((w, sol.objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifted::objective_matrix;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::suite;
+
+    fn problem() -> GlobalFloorplanProblem {
+        // Normalized, as the driver always solves it.
+        let b = suite::gsrc_n10();
+        GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default())
+            .unwrap()
+            .normalized()
+    }
+
+    #[test]
+    fn subproblem2_zero_gap_for_rank2() {
+        // Z built from an exact embedding (slack 0) has rank ≤ 2 + ...
+        // actually rank(Z) = 2 when G = XᵀX exactly.
+        let lift = Lift::new(6);
+        let pos: Vec<(f64, f64)> = (0..6)
+            .map(|i| ((i as f64) * 2.0, (i % 3) as f64 * 3.0))
+            .collect();
+        let z = lift.embed_positions(&pos, 0.0);
+        let zm = lift.z_matrix(&z);
+        let (w, gap) = solve_subproblem2(&zm, 6).unwrap();
+        assert!(gap.abs() < 1e-8, "gap {gap}");
+        // W is a projector with trace n.
+        assert!((w.trace() - 6.0).abs() < 1e-8);
+        let w2 = w.matmul(&w);
+        assert!((&w2 - &w).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn subproblem2_positive_gap_for_slack() {
+        let lift = Lift::new(5);
+        let pos: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 0.0)).collect();
+        let z = lift.embed_positions(&pos, 2.0);
+        let zm = lift.z_matrix(&z);
+        let (_w, gap) = solve_subproblem2(&zm, 5).unwrap();
+        // slack adds 2.0 to each of the n Gram eigen-directions beyond
+        // rank 2; gap must be positive and close to slack * n-ish.
+        assert!(gap > 1.0, "gap {gap}");
+    }
+
+    #[test]
+    fn closed_form_matches_sdp_solution() {
+        let lift = Lift::new(4);
+        let pos = [(0.0, 0.0), (4.0, 1.0), (1.0, 5.0), (-3.0, 2.0)];
+        let z = lift.embed_positions(&pos, 0.7);
+        let zm = lift.z_matrix(&z);
+        let (_w1, gap1) = solve_subproblem2(&zm, 4).unwrap();
+        let (_w2, gap2) = solve_subproblem2_via_sdp(&zm, 4).unwrap();
+        assert!(
+            (gap1 - gap2).abs() < 1e-3 * (1.0 + gap1.abs()),
+            "closed form {gap1} vs sdp {gap2}"
+        );
+    }
+
+    #[test]
+    fn subproblem1_admm_satisfies_constraints() {
+        let p = problem();
+        let obj = objective_matrix(&p, &p.a, None);
+        let res = solve_subproblem1(
+            &p,
+            &p.a,
+            &obj,
+            &Sp1Backend::Admm(AdmmSettings {
+                eps: 1e-5,
+                max_iter: 8000,
+                ..AdmmSettings::default()
+            }),
+            None,
+        )
+        .unwrap();
+        assert!(res.status.is_usable(), "status {:?}", res.status);
+        let lift = Lift::new(p.n);
+        let d = lift.distance_squares(&res.z);
+        let bounds = p.distance_bounds(&p.a);
+        let scale = p.total_area();
+        let mut worst: f64 = 0.0;
+        for (dk, bk) in d.iter().zip(bounds.iter()) {
+            worst = worst.max((bk - dk) / scale);
+        }
+        assert!(worst < 1e-3, "max relative violation {worst}");
+    }
+
+    #[test]
+    fn subproblem1_warm_start_is_faster_or_equal() {
+        let p = problem();
+        let obj = objective_matrix(&p, &p.a, None);
+        let settings = AdmmSettings {
+            eps: 1e-4,
+            max_iter: 8000,
+            ..AdmmSettings::default()
+        };
+        let cold = solve_subproblem1(&p, &p.a, &obj, &Sp1Backend::Admm(settings.clone()), None)
+            .unwrap();
+        let warm = solve_subproblem1(
+            &p,
+            &p.a,
+            &obj,
+            &Sp1Backend::Admm(settings),
+            Some(&cold.z),
+        )
+        .unwrap();
+        assert!(warm.status.is_usable());
+        // Warm-started solve must not be dramatically worse.
+        assert!(warm.objective <= cold.objective * 1.05 + 1.0);
+    }
+
+    #[test]
+    fn subproblem1_ipm_close_to_admm() {
+        let p = problem();
+        let obj = objective_matrix(&p, &p.a, None);
+        let admm = solve_subproblem1(
+            &p,
+            &p.a,
+            &obj,
+            &Sp1Backend::Admm(AdmmSettings {
+                eps: 1e-6,
+                max_iter: 40_000,
+                ..AdmmSettings::default()
+            }),
+            None,
+        )
+        .unwrap();
+        let ipm = solve_subproblem1(
+            &p,
+            &p.a,
+            &obj,
+            &Sp1Backend::Ipm(BarrierSettings::default()),
+            None,
+        )
+        .unwrap();
+        let rel = (admm.objective - ipm.objective).abs() / (1.0 + ipm.objective.abs());
+        assert!(
+            rel < 2e-2,
+            "admm {} vs ipm {} (rel {rel:.3e})",
+            admm.objective,
+            ipm.objective
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Horizontal / vertical constraint graphs from a global floorplan.
+//!
+//! Every module pair receives exactly one ordering relation. The
+//! direction is chosen by normalized separation (as in UFO \[2\] /
+//! TOFU \[19\]): pairs further apart horizontally (relative to the
+//! outline width) become horizontal constraints, the rest vertical.
+
+use gfp_netlist::Outline;
+
+/// The ordering relation of one module pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `left` must be entirely left of `right`.
+    LeftOf {
+        /// The left module.
+        left: usize,
+        /// The right module.
+        right: usize,
+    },
+    /// `below` must be entirely below `above`.
+    Below {
+        /// The lower module.
+        below: usize,
+        /// The upper module.
+        above: usize,
+    },
+}
+
+/// The pair of constraint graphs, stored as a flat relation list.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    /// One relation per unordered module pair.
+    pub relations: Vec<Relation>,
+    /// Number of modules.
+    pub n: usize,
+}
+
+impl ConstraintGraph {
+    /// Builds the graphs from module centers.
+    ///
+    /// The direction of each pair is the one with the larger
+    /// separation relative to the **outline** dimension available in
+    /// that direction scaled to the layout: pairs separated mostly
+    /// along the outline's long side become constraints along that
+    /// side, which is what lets tall outlines stack modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one module is given.
+    pub fn from_positions(positions: &[(f64, f64)], outline: &Outline) -> Self {
+        let n = positions.len();
+        assert!(n >= 1, "need at least one module");
+        // Normalize separations by the *layout spread* per axis so a
+        // vertically stretched global floorplan (from a 1:2 outline)
+        // yields mostly vertical relations.
+        let spread = |get: &dyn Fn(&(f64, f64)) -> f64, fallback: f64| -> f64 {
+            let lo = positions.iter().map(|p| get(p)).fold(f64::MAX, f64::min);
+            let hi = positions.iter().map(|p| get(p)).fold(f64::MIN, f64::max);
+            let s = hi - lo;
+            if s > 1e-9 * fallback {
+                s
+            } else {
+                fallback
+            }
+        };
+        let sx_norm = spread(&|p: &(f64, f64)| p.0, outline.width);
+        let sy_norm = spread(&|p: &(f64, f64)| p.1, outline.height);
+        let mut relations = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = positions[j].0 - positions[i].0;
+                let dy = positions[j].1 - positions[i].1;
+                let sx = dx.abs() / sx_norm;
+                let sy = dy.abs() / sy_norm;
+                let rel = if sx >= sy {
+                    if dx >= 0.0 {
+                        Relation::LeftOf { left: i, right: j }
+                    } else {
+                        Relation::LeftOf { left: j, right: i }
+                    }
+                } else if dy >= 0.0 {
+                    Relation::Below { below: i, above: j }
+                } else {
+                    Relation::Below { below: j, above: i }
+                };
+                relations.push(rel);
+            }
+        }
+        ConstraintGraph { relations, n }
+    }
+
+    /// Flat index of the unordered pair `(i, j)` with `i < j`.
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// TOFU-style repair: while the constraint graph cannot fit the
+    /// outline with square shapes, flip the most flippable relation on
+    /// the critical path to the other direction. Returns `true` when
+    /// both directions fit after repair.
+    ///
+    /// `positions` guide the flip direction; `sizes` are per-module
+    /// square sides (`√s_i`).
+    pub fn repair(
+        &mut self,
+        sizes: &[f64],
+        outline: &Outline,
+        positions: &[(f64, f64)],
+        max_flips: usize,
+    ) -> bool {
+        for _ in 0..max_flips {
+            let over_w = self.min_width(sizes) > outline.width;
+            let over_h = self.min_height(sizes) > outline.height;
+            if !over_w && !over_h {
+                return true;
+            }
+            let flipped = if over_w {
+                self.flip_on_critical_path(sizes, positions, true)
+            } else {
+                self.flip_on_critical_path(sizes, positions, false)
+            };
+            if !flipped {
+                break;
+            }
+        }
+        self.min_width(sizes) <= outline.width && self.min_height(sizes) <= outline.height
+    }
+
+    /// Flips one relation on the critical path of the given direction;
+    /// chooses the consecutive pair whose orthogonal separation is
+    /// largest (the most natural candidate for the other direction).
+    fn flip_on_critical_path(
+        &mut self,
+        sizes: &[f64],
+        positions: &[(f64, f64)],
+        horizontal: bool,
+    ) -> bool {
+        let chain = self.critical_chain(sizes, horizontal);
+        if chain.len() < 2 {
+            return false;
+        }
+        let mut best: Option<(usize, usize, f64)> = None; // (u, v, score)
+        for w in chain.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let du = (positions[u].0 - positions[v].0).abs();
+            let dv = (positions[u].1 - positions[v].1).abs();
+            // Score: separation along the *other* axis, normalized by
+            // the pair's size there.
+            let score = if horizontal {
+                dv / (sizes[u] + sizes[v])
+            } else {
+                du / (sizes[u] + sizes[v])
+            };
+            if best.map_or(true, |(_, _, s)| score > s) {
+                best = Some((u, v, score));
+            }
+        }
+        let (u, v, _) = best.expect("chain has at least one edge");
+        let (i, j) = if u < v { (u, v) } else { (v, u) };
+        let idx = self.pair_index(i, j);
+        self.relations[idx] = if horizontal {
+            // Was LeftOf along the chain; make it vertical.
+            if positions[i].1 <= positions[j].1 {
+                Relation::Below { below: i, above: j }
+            } else {
+                Relation::Below { below: j, above: i }
+            }
+        } else if positions[i].0 <= positions[j].0 {
+            Relation::LeftOf { left: i, right: j }
+        } else {
+            Relation::LeftOf { left: j, right: i }
+        };
+        true
+    }
+
+    /// The module chain realizing the longest path in one direction.
+    fn critical_chain(&self, sizes: &[f64], horizontal: bool) -> Vec<usize> {
+        let n = self.n;
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for rel in &self.relations {
+            let (a, b) = match (rel, horizontal) {
+                (Relation::LeftOf { left, right }, true) => (*left, *right),
+                (Relation::Below { below, above }, false) => (*below, *above),
+                _ => continue,
+            };
+            succ[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut dist: Vec<f64> = sizes.to_vec();
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(u) = queue.pop() {
+            for &v in &succ[u] {
+                if dist[u] + sizes[v] > dist[v] {
+                    dist[v] = dist[u] + sizes[v];
+                    pred[v] = Some(u);
+                }
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        let mut end = 0;
+        for i in 1..n {
+            if dist[i] > dist[end] {
+                end = i;
+            }
+        }
+        let mut chain = vec![end];
+        while let Some(p) = pred[*chain.last().expect("nonempty")] {
+            chain.push(p);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Number of horizontal relations.
+    pub fn horizontal_count(&self) -> usize {
+        self.relations
+            .iter()
+            .filter(|r| matches!(r, Relation::LeftOf { .. }))
+            .count()
+    }
+
+    /// Number of vertical relations.
+    pub fn vertical_count(&self) -> usize {
+        self.relations.len() - self.horizontal_count()
+    }
+
+    /// Longest path through the horizontal graph using the given
+    /// widths — a lower bound on the required outline width.
+    pub fn min_width(&self, widths: &[f64]) -> f64 {
+        self.longest_path(widths, true)
+    }
+
+    /// Longest path through the vertical graph using the given heights.
+    pub fn min_height(&self, heights: &[f64]) -> f64 {
+        self.longest_path(heights, false)
+    }
+
+    fn longest_path(&self, sizes: &[f64], horizontal: bool) -> f64 {
+        let n = self.n;
+        assert_eq!(sizes.len(), n, "sizes length mismatch");
+        // Collect directed edges.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for rel in &self.relations {
+            let (a, b) = match (rel, horizontal) {
+                (Relation::LeftOf { left, right }, true) => (*left, *right),
+                (Relation::Below { below, above }, false) => (*below, *above),
+                _ => continue,
+            };
+            succ[a].push(b);
+            indeg[b] += 1;
+        }
+        // Topological longest path (the relation set is acyclic by
+        // construction: it is induced by a geometric order).
+        let mut dist: Vec<f64> = sizes.to_vec();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut processed = 0;
+        while let Some(u) = queue.pop() {
+            processed += 1;
+            for &v in &succ[u] {
+                if dist[u] + sizes[v] > dist[v] {
+                    dist[v] = dist[u] + sizes[v];
+                }
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(processed, n, "constraint graph must be acyclic");
+        dist.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_gets_exactly_one_relation() {
+        let outline = Outline::new(10.0, 10.0);
+        let pos = [(1.0, 1.0), (5.0, 2.0), (3.0, 8.0), (9.0, 9.0)];
+        let g = ConstraintGraph::from_positions(&pos, &outline);
+        assert_eq!(g.relations.len(), 6);
+        assert_eq!(g.horizontal_count() + g.vertical_count(), 6);
+    }
+
+    #[test]
+    fn direction_follows_dominant_separation() {
+        let outline = Outline::new(10.0, 10.0);
+        // Mostly horizontal separation within a square spread.
+        let g = ConstraintGraph::from_positions(
+            &[(0.0, 0.0), (8.0, 1.0), (4.0, 8.0)],
+            &outline,
+        );
+        assert_eq!(g.relations[0], Relation::LeftOf { left: 0, right: 1 });
+        // Mostly vertical separation, with the second module below.
+        let g = ConstraintGraph::from_positions(
+            &[(1.0, 9.0), (0.5, 1.0), (9.0, 5.0)],
+            &outline,
+        );
+        assert_eq!(g.relations[0], Relation::Below { below: 1, above: 0 });
+    }
+
+    #[test]
+    fn spread_normalization_prefers_stretched_axis() {
+        // The layout is stretched vertically 10:1; a pair with equal
+        // dx = dy should relate along x (the tighter axis), since its
+        // *relative* x-separation is larger.
+        let outline = Outline::new(100.0, 100.0);
+        let g = ConstraintGraph::from_positions(
+            &[(0.0, 0.0), (5.0, 5.0), (10.0, 100.0)],
+            &outline,
+        );
+        assert!(matches!(g.relations[0], Relation::LeftOf { .. }));
+    }
+
+    #[test]
+    fn repair_fixes_overfull_row() {
+        // Three wide modules in a row inside a square outline that can
+        // only fit two side by side: repair must flip one relation.
+        let outline = Outline::new(10.0, 10.0);
+        let pos = [(2.0, 5.0), (5.0, 5.0), (8.0, 5.0)];
+        let mut g = ConstraintGraph::from_positions(&pos, &outline);
+        let sizes = [4.0, 4.0, 4.0]; // min width sum 12 > 10
+        assert!(g.min_width(&sizes) > 10.0);
+        let ok = g.repair(&sizes, &outline, &pos, 20);
+        assert!(ok, "repair failed");
+        assert!(g.min_width(&sizes) <= 10.0);
+        assert!(g.min_height(&sizes) <= 10.0);
+    }
+
+    #[test]
+    fn longest_path_row_of_blocks() {
+        let outline = Outline::new(100.0, 100.0);
+        let pos = [(10.0, 50.0), (30.0, 50.0), (50.0, 50.0)];
+        let g = ConstraintGraph::from_positions(&pos, &outline);
+        // All pairs horizontal: min width = sum of widths.
+        assert_eq!(g.min_width(&[5.0, 6.0, 7.0]), 18.0);
+        assert_eq!(g.min_height(&[2.0, 3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn longest_path_grid() {
+        let outline = Outline::new(10.0, 10.0);
+        // 2x2 grid of centers.
+        let pos = [(2.0, 2.0), (8.0, 2.0), (2.0, 8.0), (8.0, 8.0)];
+        let g = ConstraintGraph::from_positions(&pos, &outline);
+        let w = g.min_width(&[3.0; 4]);
+        let h = g.min_height(&[3.0; 4]);
+        assert_eq!(w, 6.0);
+        assert_eq!(h, 6.0);
+    }
+}

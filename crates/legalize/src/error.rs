@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use gfp_conic::ConicError;
+use gfp_core::FloorplanError;
+
+/// Errors from legalization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LegalizeError {
+    /// The shape SOCP did not reach a usable solution — the global
+    /// floorplan's constraint graph does not fit the outline (the
+    /// paper's "failure during legalization").
+    Infeasible {
+        /// Diagnostic detail (solver status, residuals).
+        detail: String,
+    },
+    /// The solved shapes violate physical checks beyond tolerance
+    /// (overlap or outline escape) despite solver convergence.
+    InvalidShapes {
+        /// What failed.
+        detail: String,
+    },
+    /// Problem definition errors.
+    Floorplan(FloorplanError),
+    /// Conic solver errors.
+    Conic(ConicError),
+}
+
+impl fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalizeError::Infeasible { detail } => {
+                write!(f, "legalization infeasible: {detail}")
+            }
+            LegalizeError::InvalidShapes { detail } => {
+                write!(f, "legalized shapes failed validation: {detail}")
+            }
+            LegalizeError::Floorplan(e) => write!(f, "problem error: {e}"),
+            LegalizeError::Conic(e) => write!(f, "conic solver error: {e}"),
+        }
+    }
+}
+
+impl Error for LegalizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LegalizeError::Floorplan(e) => Some(e),
+            LegalizeError::Conic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloorplanError> for LegalizeError {
+    fn from(e: FloorplanError) -> Self {
+        LegalizeError::Floorplan(e)
+    }
+}
+
+impl From<ConicError> for LegalizeError {
+    fn from(e: ConicError) -> Self {
+        LegalizeError::Conic(e)
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for constraint graphs: every random layout
+//! yields an acyclic, complete relation set, and repair never breaks
+//! those invariants.
+
+use gfp_legalize::constraint_graph::{ConstraintGraph, Relation};
+use gfp_netlist::Outline;
+use proptest::prelude::*;
+
+fn positions_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), n)
+}
+
+/// Detects cycles in one direction of the relation set.
+fn is_acyclic(g: &ConstraintGraph, horizontal: bool) -> bool {
+    let n = g.n;
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for rel in &g.relations {
+        let (a, b) = match (rel, horizontal) {
+            (Relation::LeftOf { left, right }, true) => (*left, *right),
+            (Relation::Below { below, above }, false) => (*below, *above),
+            _ => continue,
+        };
+        succ[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in &succ[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen == n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graphs_are_complete_and_acyclic(pos in positions_strategy(8)) {
+        let outline = Outline::new(100.0, 100.0);
+        let g = ConstraintGraph::from_positions(&pos, &outline);
+        prop_assert_eq!(g.relations.len(), 8 * 7 / 2);
+        prop_assert!(is_acyclic(&g, true), "horizontal cycle");
+        prop_assert!(is_acyclic(&g, false), "vertical cycle");
+    }
+
+    #[test]
+    fn repair_preserves_acyclicity(pos in positions_strategy(7)) {
+        // A deliberately tiny outline forces many repair flips.
+        let outline = Outline::new(12.0, 12.0);
+        let mut g = ConstraintGraph::from_positions(&pos, &outline);
+        let sizes = vec![4.0; 7];
+        let _ = g.repair(&sizes, &outline, &pos, 100);
+        prop_assert_eq!(g.relations.len(), 7 * 6 / 2);
+        prop_assert!(is_acyclic(&g, true), "horizontal cycle after repair");
+        prop_assert!(is_acyclic(&g, false), "vertical cycle after repair");
+    }
+
+    #[test]
+    fn min_extents_monotone_in_sizes(pos in positions_strategy(6), scale in 1.0..3.0f64) {
+        let outline = Outline::new(100.0, 100.0);
+        let g = ConstraintGraph::from_positions(&pos, &outline);
+        let small = vec![2.0; 6];
+        let big: Vec<f64> = small.iter().map(|s| s * scale).collect();
+        prop_assert!(g.min_width(&big) >= g.min_width(&small));
+        prop_assert!(g.min_height(&big) >= g.min_height(&small));
+        // Exact scaling: uniform size scaling scales the longest path.
+        prop_assert!((g.min_width(&big) - scale * g.min_width(&small)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn successful_repair_really_fits(pos in positions_strategy(6)) {
+        let outline = Outline::new(30.0, 30.0);
+        let mut g = ConstraintGraph::from_positions(&pos, &outline);
+        let sizes = vec![6.0; 6]; // total area 216 in a 900 outline: fits
+        if g.repair(&sizes, &outline, &pos, 100) {
+            prop_assert!(g.min_width(&sizes) <= outline.width + 1e-9);
+            prop_assert!(g.min_height(&sizes) <= outline.height + 1e-9);
+        }
+    }
+}

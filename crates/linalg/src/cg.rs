@@ -1,0 +1,211 @@
+//! Conjugate-gradient solvers for symmetric positive (semi)definite systems.
+//!
+//! The ADMM conic solver uses [`cg`] in matrix-free form for its
+//! projection step, and the quadratic-placement baseline uses it to
+//! solve graph Laplacian systems.
+
+use crate::vec_ops::{axpy, dot, norm2};
+use crate::LinalgError;
+
+/// A symmetric positive (semi)definite linear operator `y = A x`.
+///
+/// Implemented by anything that can apply itself to a vector: dense
+/// matrices, sparse matrices, or composite operators such as the
+/// `ρI + AᵀA` normal operator inside the conic solver.
+pub trait LinOp {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `y.len()` differ from
+    /// [`dim`](LinOp::dim).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinOp for crate::Mat {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let r = self.matvec(x);
+        y.copy_from_slice(&r);
+    }
+}
+
+impl LinOp for crate::sparse::CsrMat {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+}
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Number of iterations used.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖₂`.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` with (optionally Jacobi-preconditioned) conjugate
+/// gradients, starting from `x0`.
+///
+/// `precond_diag`, when provided, is the diagonal of `A` (or any
+/// positive approximation); the method then runs preconditioned CG
+/// with `M = diag(precond_diag)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NoConvergence`] if the residual does not fall
+/// below `tol` within `max_iter` iterations. The best iterate is lost
+/// in that case by design — callers that can tolerate inexact solves
+/// should use [`cg_best_effort`].
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x0.len()` differ from `op.dim()`.
+pub fn cg(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    max_iter: usize,
+    precond_diag: Option<&[f64]>,
+) -> Result<CgResult, LinalgError> {
+    let res = cg_best_effort(op, b, x0, tol, max_iter, precond_diag);
+    if res.residual > tol && res.iterations >= max_iter {
+        return Err(LinalgError::NoConvergence {
+            method: "cg",
+            iterations: max_iter,
+        });
+    }
+    Ok(res)
+}
+
+/// Like [`cg`] but always returns the final iterate, even when the
+/// tolerance was not reached. Used by the ADMM solver, which only needs
+/// progressively accurate solves.
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x0.len()` differ from `op.dim()`.
+pub fn cg_best_effort(
+    op: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    max_iter: usize,
+    precond_diag: Option<&[f64]>,
+) -> CgResult {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "cg: rhs length mismatch");
+    assert_eq!(x0.len(), n, "cg: x0 length mismatch");
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    op.apply(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
+    let apply_precond = |r: &[f64]| -> Vec<f64> {
+        match precond_diag {
+            Some(d) => r
+                .iter()
+                .zip(d.iter())
+                .map(|(ri, di)| if *di > 0.0 { ri / di } else { *ri })
+                .collect(),
+            None => r.to_vec(),
+        }
+    };
+    let mut z = apply_precond(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut res_norm = norm2(&r);
+    let mut iterations = 0;
+    let mut ap = vec![0.0; n];
+    while res_norm > tol && iterations < max_iter {
+        op.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Negative curvature or breakdown: the operator is not PSD in
+            // this direction (or we hit round-off); stop with current x.
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        z = apply_precond(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
+            *pi = zi + beta * *pi;
+        }
+        res_norm = norm2(&r);
+        iterations += 1;
+    }
+    CgResult {
+        x,
+        iterations,
+        residual: res_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let xt = vec![1.0, 2.0, 3.0];
+        let b = a.matvec(&xt);
+        let r = cg(&a, &b, &[0.0; 3], 1e-12, 100, None).unwrap();
+        for (u, v) in r.x.iter().zip(xt.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cg_converges_in_at_most_n_steps_exact_arithmetic() {
+        let a = Mat::from_diag(&[1.0, 2.0, 3.0, 4.0]);
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let r = cg(&a, &b, &[0.0; 4], 1e-12, 10, None).unwrap();
+        assert!(r.iterations <= 5);
+        assert!((r.x[3] - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_helps_ill_conditioned_diag() {
+        let d = [1.0, 10.0, 100.0, 1000.0, 1e4, 1e5];
+        let a = Mat::from_diag(&d);
+        let b = vec![1.0; 6];
+        let plain = cg_best_effort(&a, &b, &vec![0.0; 6], 1e-12, 3, None);
+        let pre = cg_best_effort(&a, &b, &vec![0.0; 6], 1e-12, 3, Some(&d));
+        // With Jacobi preconditioning a diagonal system converges in one step.
+        assert!(pre.residual < plain.residual);
+        assert!(pre.residual < 1e-10);
+    }
+
+    #[test]
+    fn cg_warm_start_finishes_immediately() {
+        let a = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let xt = vec![3.0, -1.0];
+        let b = a.matvec(&xt);
+        let r = cg(&a, &b, &xt, 1e-10, 10, None).unwrap();
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn cg_reports_no_convergence() {
+        // 1 iteration budget on a coupled system cannot reach 1e-14.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let err = cg(&a, &[1.0, 0.0], &[0.0, 0.0], 1e-14, 1, None);
+        assert!(matches!(err, Err(LinalgError::NoConvergence { .. })));
+    }
+}

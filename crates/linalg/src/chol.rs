@@ -1,0 +1,252 @@
+use crate::{LinalgError, Mat};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// # Example
+///
+/// ```
+/// use gfp_linalg::{Mat, Cholesky};
+/// # fn main() -> Result<(), gfp_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] or
+    /// [`LinalgError::NotPositiveDefinite`].
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        let mut y = b.to_vec();
+        // Forward: L y = b
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Log-determinant of `A`, `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// LDLᵀ factorization (no pivoting) of a symmetric matrix.
+///
+/// Suitable for symmetric *quasi-definite* matrices — in particular the
+/// KKT systems assembled by the interior-point solver, whose block
+/// structure guarantees nonzero pivots — where a plain Cholesky would
+/// fail because some pivots are negative.
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    l: Mat,
+    d: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factors a symmetric matrix as `A = L D Lᵀ` with unit-diagonal `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input or
+    /// [`LinalgError::Singular`] when a pivot vanishes (the unpivoted
+    /// algorithm cannot continue).
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut l = Mat::identity(n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj == 0.0 || !dj.is_finite() {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// The unit lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// The diagonal `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+        }
+        for i in 0..n {
+            y[i] /= self.d[i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Mat::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        // Check factor: L Lᵀ == A
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!((&rec - &a).norm_max() < 1e-12);
+        let xtrue = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&xtrue);
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(xtrue.iter()) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_log_det() {
+        let a = Mat::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_handles_indefinite() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, -3.0, 0.5], &[0.0, 0.5, 1.0]]);
+        let f = Ldlt::new(&a).unwrap();
+        // Some pivot must be negative (indefinite matrix).
+        assert!(f.d().iter().any(|&d| d < 0.0));
+        let xtrue = vec![0.5, 2.0, -1.0];
+        let b = a.matvec(&xtrue);
+        let x = f.solve(&b);
+        for (xi, ti) in x.iter().zip(xtrue.iter()) {
+            assert!((xi - ti).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn ldlt_matches_cholesky_on_spd() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 4.0];
+        let x1 = Cholesky::new(&a).unwrap().solve(&b);
+        let x2 = Ldlt::new(&a).unwrap().solve(&b);
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn ldlt_rejects_zero_pivot() {
+        let a = Mat::zeros(2, 2);
+        assert!(matches!(Ldlt::new(&a), Err(LinalgError::Singular { .. })));
+    }
+}

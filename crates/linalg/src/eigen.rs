@@ -1,0 +1,392 @@
+use crate::{LinalgError, Mat};
+
+/// Result of a symmetric eigendecomposition: `A = V diag(values) Vᵀ`.
+///
+/// Eigenvalues are sorted in ascending order; column `k` of
+/// [`vectors`](Eigh::vectors) is the unit eigenvector for `values[k]`.
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, matching `values`.
+    pub vectors: Mat,
+}
+
+impl Eigh {
+    /// Reconstructs `A = V diag(λ) Vᵀ` (mainly for testing).
+    pub fn reconstruct(&self) -> Mat {
+        let n = self.values.len();
+        let mut d = Mat::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = self.values[i];
+        }
+        self.vectors.matmul(&d).matmul(&self.vectors.transpose())
+    }
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// Uses Householder tridiagonalization followed by the implicit-shift
+/// QL algorithm, both operating on the full accumulated transformation,
+/// so the returned eigenvectors are orthonormal to machine precision.
+///
+/// Only the lower triangle of `a` is referenced; the matrix is treated
+/// as exactly symmetric.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the QL iteration fails (does not
+/// happen for finite input in practice).
+///
+/// # Example
+///
+/// ```
+/// use gfp_linalg::{Mat, eigh};
+/// # fn main() -> Result<(), gfp_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 4.0]]);
+/// let e = eigh(&a)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-12);
+/// assert!((e.values[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(a: &Mat) -> Result<Eigh, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(Eigh {
+            values: Vec::new(),
+            vectors: Mat::zeros(0, 0),
+        });
+    }
+    // Work on a symmetrized copy so callers may pass nearly-symmetric input.
+    let mut z = a.clone();
+    z.symmetrize_mut();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut z, &mut d, &mut e);
+    tqli(&mut d, &mut e, &mut z)?;
+    sort_eigenpairs(&mut d, &mut z);
+    Ok(Eigh {
+        values: d,
+        vectors: z,
+    })
+}
+
+/// Computes only the eigenvalues of a symmetric matrix (ascending).
+///
+/// Slightly cheaper than [`eigh`] because no eigenvectors are
+/// accumulated during the QL sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`eigh`].
+pub fn eigvalsh(a: &Mat) -> Result<Vec<f64>, LinalgError> {
+    // The tridiagonalization dominates; reuse the full path for simplicity
+    // and guaranteed consistency with `eigh`.
+    Ok(eigh(a)?.values)
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form.
+///
+/// On exit `a` holds the accumulated orthogonal transformation `Q`
+/// (so that `Qᵀ A Q` is tridiagonal), `d` the diagonal and `e` the
+/// subdiagonal (`e\[0\]` unused).
+fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+    let n = a.nrows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += a[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[(i, k)] /= scale;
+                    h += a[(i, k)] * a[(i, k)];
+                }
+                let mut f = a[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    a[(j, i)] = a[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * a[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = a[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * a[(i, k)];
+                        a[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += a[(i, k)] * a[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * a[(k, i)];
+                    a[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = a[(i, i)];
+        a[(i, i)] = 1.0;
+        for j in 0..i {
+            a[(j, i)] = 0.0;
+            a[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix,
+/// accumulating the rotations into `z`.
+fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Mat) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Look for a single small subdiagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 64 {
+                return Err(LinalgError::NoConvergence {
+                    method: "tqli",
+                    iterations: 64,
+                });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..z.nrows() {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Sorts eigenvalues ascending and permutes the eigenvector columns to match.
+fn sort_eigenpairs(d: &mut [f64], z: &mut Mat) {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    let ds: Vec<f64> = order.iter().map(|&k| d[k]).collect();
+    d.copy_from_slice(&ds);
+    let old = z.clone();
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            z[(r, new_col)] = old[(r, old_col)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Mat, tol: f64) {
+        let e = eigh(a).expect("eigh");
+        // Reconstruction.
+        let rec = e.reconstruct();
+        assert!(
+            (&rec - a).norm_max() < tol,
+            "reconstruction error {}",
+            (&rec - a).norm_max()
+        );
+        // Orthonormality.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!((&vtv - &Mat::identity(a.nrows())).norm_max() < tol);
+        // Ascending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + tol);
+        }
+    }
+
+    #[test]
+    fn eigh_2x2_known() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, 1e-12);
+    }
+
+    #[test]
+    fn eigh_diagonal() {
+        let a = Mat::from_diag(&[5.0, -1.0, 3.0]);
+        let e = eigh(&a).unwrap();
+        assert_eq!(e.values, vec![-1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn eigh_zero_matrix() {
+        let a = Mat::zeros(4, 4);
+        let e = eigh(&a).unwrap();
+        assert!(e.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn eigh_empty_and_one() {
+        assert!(eigh(&Mat::zeros(0, 0)).unwrap().values.is_empty());
+        let e = eigh(&Mat::from_rows(&[&[7.0]])).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+        assert_eq!(e.vectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn eigh_rejects_non_square() {
+        assert!(matches!(
+            eigh(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn eigh_random_symmetric_sizes() {
+        // Deterministic pseudo-random fill (LCG) to avoid a rand dependency here.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for &n in &[3usize, 5, 10, 25, 60] {
+            let mut a = Mat::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = next();
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            check_decomposition(&a, 1e-9 * (n as f64));
+        }
+    }
+
+    #[test]
+    fn eigh_rank_deficient_gram() {
+        // G = Xᵀ X with X 2xn has rank <= 2: exactly n-2 zero eigenvalues.
+        let n = 8;
+        let x = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0, -1.0, 0.5, 2.5, -2.0, 4.0],
+            &[0.0, 1.0, -1.0, 2.0, 1.5, -0.5, 3.0, 1.0],
+        ]);
+        let g = x.transpose().matmul(&x);
+        let e = eigh(&g).unwrap();
+        for k in 0..n - 2 {
+            assert!(e.values[k].abs() < 1e-10, "λ{} = {}", k, e.values[k]);
+        }
+        assert!(e.values[n - 2] > 1e-6);
+        check_decomposition(&g, 1e-9);
+    }
+
+    #[test]
+    fn eigvalsh_matches_eigh() {
+        let a = Mat::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let v1 = eigvalsh(&a).unwrap();
+        let v2 = eigh(&a).unwrap().values;
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn eigh_clustered_eigenvalues() {
+        // Matrix with a repeated eigenvalue: I + rank-1.
+        let n = 6;
+        let mut a = Mat::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] += 1.0; // eigenvalues: 1 (x5), 7 (x1)
+            }
+        }
+        let e = eigh(&a).unwrap();
+        for k in 0..n - 1 {
+            assert!((e.values[k] - 1.0).abs() < 1e-10);
+        }
+        assert!((e.values[n - 1] - (n as f64 + 1.0)).abs() < 1e-10);
+        check_decomposition(&a, 1e-10);
+    }
+}

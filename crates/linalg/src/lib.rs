@@ -1,0 +1,44 @@
+//! Dense and sparse linear algebra for the `gfp` workspace.
+//!
+//! This crate is the numerical substrate for the SDP-based global
+//! floorplanner: it provides the dense [`Mat`] type, symmetric
+//! eigendecomposition ([`eigh`]), triangular factorizations
+//! ([`Cholesky`], [`Ldlt`], [`Lu`], [`Qr`]), a compressed sparse row
+//! matrix ([`sparse::CsrMat`]), conjugate-gradient solvers
+//! ([`cg::cg`]) and the scaled symmetric vectorization used by the
+//! conic solver ([`svec::svec`] / [`svec::smat`]).
+//!
+//! Everything is `f64`, dependency-free and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use gfp_linalg::{Mat, eigh};
+//!
+//! # fn main() -> Result<(), gfp_linalg::LinalgError> {
+//! let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let eig = eigh(&a)?;
+//! assert!((eig.values[0] - 1.0).abs() < 1e-12);
+//! assert!((eig.values[1] - 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod chol;
+mod eigen;
+mod error;
+mod lu;
+mod mat;
+mod qr;
+
+pub mod cg;
+pub mod sparse;
+pub mod svec;
+pub mod vec_ops;
+
+pub use chol::{Cholesky, Ldlt};
+pub use eigen::{eigh, eigvalsh, Eigh};
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use mat::Mat;
+pub use qr::Qr;

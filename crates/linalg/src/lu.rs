@@ -1,0 +1,189 @@
+use crate::{LinalgError, Mat};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// # Example
+///
+/// ```
+/// use gfp_linalg::{Mat, Lu};
+/// # fn main() -> Result<(), gfp_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve(&[4.0, 3.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implicit) and U (upper).
+    lu: Mat,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input or
+    /// [`LinalgError::Singular`] if a pivot column is entirely zero.
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot selection.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = m * lu[(k, j)];
+                        lu[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.nrows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu-solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit diagonal.
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.nrows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Computes the inverse of `A` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix of matching size).
+    pub fn inverse(&self) -> Result<Mat, LinalgError> {
+        let n = self.lu.nrows();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_with_pivoting() {
+        // Requires pivoting: zero in the (0,0) position.
+        let a = Mat::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 0.0, 1.0], &[1.0, 1.0, 1.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let xt = vec![2.0, -1.0, 0.5];
+        let b = a.matvec(&xt);
+        let x = lu.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(xt.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_det_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((Lu::new(&a).unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Mat::identity(3)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_rejects_non_square() {
+        assert!(matches!(
+            Lu::new(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

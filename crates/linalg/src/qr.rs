@@ -1,0 +1,197 @@
+use crate::{LinalgError, Mat};
+
+/// Householder QR factorization `A = Q R` for `m >= n` matrices.
+///
+/// Primarily used to solve least-squares problems arising in the
+/// experiment harness (e.g. fitting the runtime scaling exponent of
+/// Fig. 5(b)).
+///
+/// # Example
+///
+/// ```
+/// use gfp_linalg::{Mat, Qr};
+/// # fn main() -> Result<(), gfp_linalg::LinalgError> {
+/// // Fit y = a + b t through three points.
+/// let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let x = Qr::new(&a)?.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal, R on and above.
+    qr: Mat,
+    /// Scalar β for each reflector.
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m x n` matrix (`m >= n`) by Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `m < n`.
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        let (m, n) = (a.nrows(), a.ncols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (requires m >= n)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, a_{k+1,k}, ..., a_{m-1,k}]; store normalized with v0.
+            let mut vnorm2 = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                beta[k] = 0.0;
+                qr[(k, k)] = alpha;
+                continue;
+            }
+            beta[k] = 2.0 / vnorm2;
+            // Apply reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta[k] * dot;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let delta = s * qr[(i, k)];
+                    qr[(i, j)] -= delta;
+                }
+            }
+            // Store: diagonal becomes alpha (R), below stays v (scaled by v0 convention).
+            qr[(k, k)] = alpha;
+            // Keep v0 implicitly by rescaling stored tail so v = [1, tail].
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            beta[k] *= v0 * v0;
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrong-length `b`
+    /// and [`LinalgError::Singular`] if `R` has a zero diagonal entry
+    /// (rank-deficient `A`).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.qr.nrows(), self.qr.ncols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr-solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        // Apply Qᵀ to b.
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let s = self.beta[k] * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                let delta = s * self.qr[(i, k)];
+                y[i] -= delta;
+            }
+        }
+        // Back substitution on R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let rii = self.qr[(i, i)];
+            if rii == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_solves_square_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let xt = vec![1.0, -1.0];
+        let b = a.matvec(&xt);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (u, v) in x.iter().zip(xt.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_line_fit() {
+        // y = 1 + 2t with noise-free data must recover exactly.
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = t.iter().map(|&ti| vec![1.0, ti]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Mat::from_rows(&row_refs);
+        let b: Vec<f64> = t.iter().map(|&ti| 1.0 + 2.0 * ti).collect();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_overdetermined_residual_is_orthogonal() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.0, 1.0, 1.0, 3.0];
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(u, v)| u - v).collect();
+        let atr = a.matvec_transpose(&r);
+        assert!(atr.iter().all(|v| v.abs() < 1e-12), "Aᵀr = {atr:?}");
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        assert!(Qr::new(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

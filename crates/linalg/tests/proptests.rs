@@ -1,0 +1,137 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use gfp_linalg::svec::{smat, svec};
+use gfp_linalg::{cg::cg_best_effort, eigh, Cholesky, Lu, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a random square matrix with entries in [-5, 5].
+fn square_mat(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-5.0..5.0f64, n * n)
+        .prop_map(move |data| Mat::from_vec(n, n, data))
+}
+
+/// Strategy: a random symmetric matrix.
+fn sym_mat(n: usize) -> impl Strategy<Value = Mat> {
+    square_mat(n).prop_map(|mut m| {
+        m.symmetrize_mut();
+        m
+    })
+}
+
+/// Strategy: a random SPD matrix built as `M Mᵀ + n·I`.
+fn spd_mat(n: usize) -> impl Strategy<Value = Mat> {
+    square_mat(n).prop_map(move |m| {
+        let mut a = m.matmul(&m.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigh_reconstructs(a in sym_mat(6)) {
+        let e = eigh(&a).unwrap();
+        let rec = e.reconstruct();
+        prop_assert!((&rec - &a).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn eigh_vectors_orthonormal(a in sym_mat(5)) {
+        let e = eigh(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        prop_assert!((&vtv - &Mat::identity(5)).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn eigh_trace_equals_eigenvalue_sum(a in sym_mat(7)) {
+        let e = eigh(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu(a in spd_mat(5), xt in proptest::collection::vec(-3.0..3.0f64, 5)) {
+        let b = a.matvec(&xt);
+        let x1 = Cholesky::new(&a).unwrap().solve(&b);
+        let x2 = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution(a in spd_mat(6), xt in proptest::collection::vec(-3.0..3.0f64, 6)) {
+        let b = a.matvec(&xt);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (u, v) in x.iter().zip(xt.iter()) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_matches_direct_solver(a in spd_mat(6), xt in proptest::collection::vec(-3.0..3.0f64, 6)) {
+        let b = a.matvec(&xt);
+        let r = cg_best_effort(&a, &b, &vec![0.0; 6], 1e-11, 200, None);
+        for (u, v) in r.x.iter().zip(xt.iter()) {
+            prop_assert!((u - v).abs() < 1e-6, "cg {} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn svec_roundtrip(a in sym_mat(6)) {
+        let b = smat(&svec(&a));
+        prop_assert!((&a - &b).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn svec_preserves_inner_product(a in sym_mat(5), b in sym_mat(5)) {
+        let va = svec(&a);
+        let vb = svec(&b);
+        let d: f64 = va.iter().zip(vb.iter()).map(|(x, y)| x * y).sum();
+        prop_assert!((d - a.dot(&b)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_associative(a in square_mat(4), b in square_mat(4), c in square_mat(4)) {
+        let l = a.matmul(&b).matmul(&c);
+        let r = a.matmul(&b.matmul(&c));
+        prop_assert!((&l - &r).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_product_rule(a in square_mat(4), b in square_mat(4)) {
+        let l = a.matmul(&b).transpose();
+        let r = b.transpose().matmul(&a.transpose());
+        prop_assert!((&l - &r).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_via_eigh_is_idempotent(a in sym_mat(5)) {
+        // Projecting twice onto the PSD cone equals projecting once.
+        let project = |m: &Mat| -> Mat {
+            let e = eigh(m).unwrap();
+            let n = m.nrows();
+            let mut out = Mat::zeros(n, n);
+            for k in 0..n {
+                let lam = e.values[k].max(0.0);
+                if lam == 0.0 { continue; }
+                for i in 0..n {
+                    for j in 0..n {
+                        out[(i, j)] += lam * e.vectors[(i, k)] * e.vectors[(j, k)];
+                    }
+                }
+            }
+            out
+        };
+        let p1 = project(&a);
+        let p2 = project(&p1);
+        prop_assert!((&p1 - &p2).norm_max() < 1e-8);
+        // Projection is PSD.
+        let evals = gfp_linalg::eigvalsh(&p1).unwrap();
+        prop_assert!(evals[0] > -1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Clique-model reduction of hyper-edges to pairwise connectivity.
+//!
+//! The SDP formulation consumes a module-module connectivity matrix
+//! `A` (paper Section II) and a module-pad matrix `Ā` (Eq. 21). Real
+//! benchmark nets are hyper-edges; the standard clique model spreads a
+//! `k`-pin net's weight `w` as `w / (k − 1)` over each of the
+//! `k(k−1)/2` pin pairs, which preserves the 2-pin case exactly and
+//! matches what quadratic placers use for their `C` matrix.
+
+use gfp_linalg::Mat;
+
+use crate::Netlist;
+
+/// Builds the symmetric module-module connectivity matrix `A`.
+///
+/// Multiple nets between the same pair accumulate, matching the
+/// paper's "number of signals passed from `p_i` to `p_j`".
+pub fn module_adjacency(netlist: &Netlist) -> Mat {
+    let n = netlist.num_modules();
+    let mut a = Mat::zeros(n, n);
+    for net in netlist.nets() {
+        let mods: Vec<usize> = net.module_pins().collect();
+        let pads = net.pad_pins().count();
+        let k = mods.len() + pads;
+        if k < 2 || mods.len() < 2 {
+            continue;
+        }
+        let w = net.weight / (k as f64 - 1.0);
+        for (ai, &i) in mods.iter().enumerate() {
+            for &j in &mods[ai + 1..] {
+                if i == j {
+                    continue;
+                }
+                a[(i, j)] += w;
+                a[(j, i)] += w;
+            }
+        }
+    }
+    a
+}
+
+/// Builds the module-pad connectivity matrix `Ā` (n × m).
+pub fn pad_adjacency(netlist: &Netlist) -> Mat {
+    let n = netlist.num_modules();
+    let m = netlist.pads().len();
+    let mut a = Mat::zeros(n, m);
+    for net in netlist.nets() {
+        let mods: Vec<usize> = net.module_pins().collect();
+        let pads: Vec<usize> = net.pad_pins().collect();
+        let k = mods.len() + pads.len();
+        if k < 2 || mods.is_empty() || pads.is_empty() {
+            continue;
+        }
+        let w = net.weight / (k as f64 - 1.0);
+        for &i in &mods {
+            for &p in &pads {
+                a[(i, p)] += w;
+            }
+        }
+    }
+    a
+}
+
+/// Builds the `B` matrix of paper Eq. (8) from a connectivity matrix:
+/// `B_ii = Σ_k A_ik + Σ_k A_ki`, `B_ij = −2 A_ij` for `i ≠ j`, so that
+/// `<B, G> = Σ_ij A_ij D_ij` with `G` the Gram matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn wirelength_b_matrix(a: &Mat) -> Mat {
+    assert!(a.is_square(), "connectivity matrix must be square");
+    let n = a.nrows();
+    let mut b = Mat::zeros(n, n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        let mut col_sum = 0.0;
+        for k in 0..n {
+            row_sum += a[(i, k)];
+            col_sum += a[(k, i)];
+        }
+        b[(i, i)] = row_sum + col_sum;
+        for j in 0..n {
+            if j != i {
+                b[(i, j)] -= 2.0 * a[(i, j)];
+            }
+        }
+    }
+    b
+}
+
+/// Degree of each module in the clique graph: `Σ_j A_ij`.
+pub fn degrees(a: &Mat) -> Vec<f64> {
+    (0..a.nrows())
+        .map(|i| (0..a.ncols()).map(|j| a[(i, j)]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Module, Net, Netlist, Pad, PinRef};
+
+    fn three_module_netlist() -> Netlist {
+        Netlist::new(
+            vec![
+                Module::new("a", 1.0),
+                Module::new("b", 1.0),
+                Module::new("c", 1.0),
+            ],
+            vec![Pad::new("p", 0.0, 0.0)],
+            vec![
+                Net::new("n2pin", vec![PinRef::Module(0), PinRef::Module(1)]),
+                Net::new(
+                    "n3pin",
+                    vec![PinRef::Module(0), PinRef::Module(1), PinRef::Module(2)],
+                ),
+                Net::new("npad", vec![PinRef::Module(2), PinRef::Pad(0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_pin_net_weight_preserved() {
+        let a = module_adjacency(&three_module_netlist());
+        // 2-pin net contributes 1; 3-pin clique contributes 1/2 per pair.
+        assert!((a[(0, 1)] - 1.5).abs() < 1e-12);
+        assert!((a[(0, 2)] - 0.5).abs() < 1e-12);
+        assert!((a[(1, 2)] - 0.5).abs() < 1e-12);
+        assert!(a.is_symmetric(1e-12));
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn pad_adjacency_links_module_to_pad() {
+        let a = pad_adjacency(&three_module_netlist());
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 1);
+        assert!((a[(2, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn b_matrix_identity_against_direct_sum() {
+        // <B, G> must equal Σ A_ij D_ij for arbitrary positions.
+        let nl = three_module_netlist();
+        let a = module_adjacency(&nl);
+        let b = wirelength_b_matrix(&a);
+        let x = Mat::from_rows(&[&[0.0, 3.0, 1.0], &[0.0, 4.0, -2.0]]); // 2 x 3 centers
+        let g = x.transpose().matmul(&x);
+        let via_b = b.dot(&g);
+        let mut direct = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let dx = x[(0, i)] - x[(0, j)];
+                let dy = x[(1, i)] - x[(1, j)];
+                direct += a[(i, j)] * (dx * dx + dy * dy);
+            }
+        }
+        assert!(
+            (via_b - direct).abs() < 1e-10,
+            "via B {via_b} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn degrees_sum_rows() {
+        let a = module_adjacency(&three_module_netlist());
+        let d = degrees(&a);
+        assert!((d[0] - 2.0).abs() < 1e-12); // 1.5 + 0.5
+    }
+
+    #[test]
+    fn net_with_single_module_pin_contributes_nothing_to_a() {
+        let nl = Netlist::new(
+            vec![Module::new("a", 1.0)],
+            vec![Pad::new("p", 0.0, 0.0)],
+            vec![Net::new("n", vec![PinRef::Module(0), PinRef::Pad(0)])],
+        )
+        .unwrap();
+        let a = module_adjacency(&nl);
+        assert_eq!(a[(0, 0)], 0.0);
+        let ap = pad_adjacency(&nl);
+        assert_eq!(ap[(0, 0)], 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from netlist construction and benchmark parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net references an unknown module or pad name.
+    UnknownPin {
+        /// The offending name.
+        name: String,
+        /// The net it appeared in.
+        net: String,
+    },
+    /// A module or pad name occurs more than once.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A module has a non-positive area.
+    InvalidArea {
+        /// The module name.
+        name: String,
+        /// The offending area.
+        area: f64,
+    },
+    /// A bookshelf file could not be parsed.
+    Parse {
+        /// Which file kind (`blocks`, `nets`, `pl`).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownPin { name, net } => {
+                write!(f, "net {net} references unknown pin {name}")
+            }
+            NetlistError::DuplicateName { name } => write!(f, "duplicate name {name}"),
+            NetlistError::InvalidArea { name, area } => {
+                write!(f, "module {name} has invalid area {area}")
+            }
+            NetlistError::Parse { file, line, reason } => {
+                write!(f, "parse error in .{file} file at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,93 @@
+//! Shared floorplan geometry.
+
+/// An axis-aligned placed rectangle (lower-left corner + size).
+///
+/// Used by every component that produces or consumes concrete module
+/// shapes: the sequence-pair annealer, the legalizer and the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Aspect ratio `w / h`.
+    pub fn aspect(&self) -> f64 {
+        self.w / self.h
+    }
+
+    /// Whether two rectangles overlap with positive area (with a
+    /// tolerance: contacts within `tol` do not count).
+    pub fn overlaps_with_tol(&self, other: &Rect, tol: f64) -> bool {
+        self.x + tol < other.x + other.w
+            && other.x + tol < self.x + self.w
+            && self.y + tol < other.y + other.h
+            && other.y + tol < self.y + self.h
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.overlaps_with_tol(other, 0.0)
+    }
+
+    /// Overlap area with another rectangle.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let h = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if w > 0.0 && h > 0.0 {
+            w * h
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_area_aspect() {
+        let r = Rect::new(1.0, 2.0, 4.0, 2.0);
+        assert_eq!(r.center(), (3.0, 3.0));
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.aspect(), 2.0);
+    }
+
+    #[test]
+    fn overlap_detection_and_area() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 1.0, 1.0);
+        assert!(a.overlaps(&b));
+        assert!((a.overlap_area(&b) - 1.0).abs() < 1e-15);
+        assert!(!a.overlaps(&c)); // touching edges do not overlap
+        assert_eq!(a.overlap_area(&c), 0.0);
+        // With tolerance, near-touching is ignored.
+        let d = Rect::new(1.999, 0.0, 1.0, 1.0);
+        assert!(a.overlaps(&d));
+        assert!(!a.overlaps_with_tol(&d, 0.01));
+    }
+}

@@ -1,0 +1,161 @@
+//! Half-perimeter wirelength (HPWL) evaluation.
+//!
+//! HPWL is the quality metric of every table and figure in the paper:
+//! for each net, the half perimeter of the bounding box of its pins
+//! (module centers and pad locations), weighted by the net weight.
+
+use crate::Netlist;
+
+/// HPWL of the whole netlist given module center `positions`
+/// (`positions[i] = (x, y)` for module `i`). Pads contribute at their
+/// fixed locations.
+///
+/// Nets with fewer than two pins contribute zero.
+///
+/// # Panics
+///
+/// Panics if `positions.len()` differs from the module count.
+pub fn hpwl(netlist: &Netlist, positions: &[(f64, f64)]) -> f64 {
+    assert_eq!(
+        positions.len(),
+        netlist.num_modules(),
+        "positions length must match module count"
+    );
+    netlist
+        .nets()
+        .iter()
+        .map(|net| net.weight * net_hpwl(netlist, positions, net))
+        .sum()
+}
+
+/// HPWL of a single net (unweighted).
+fn net_hpwl(netlist: &Netlist, positions: &[(f64, f64)], net: &crate::Net) -> f64 {
+    let mut count = 0usize;
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let mut visit = |x: f64, y: f64| {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+        count += 1;
+    };
+    for i in net.module_pins() {
+        let (x, y) = positions[i];
+        visit(x, y);
+    }
+    for p in net.pad_pins() {
+        let pad = &netlist.pads()[p];
+        visit(pad.x, pad.y);
+    }
+    if count < 2 {
+        return 0.0;
+    }
+    (max_x - min_x) + (max_y - min_y)
+}
+
+/// Total weighted Manhattan wirelength under the clique model:
+/// `Σ_ij A_ij · (|x_i − x_j| + |y_i − y_j|)` over module pairs.
+///
+/// Used by the adaptive Manhattan reweighting (paper Eq. 20) and as a
+/// secondary diagnostic.
+///
+/// # Panics
+///
+/// Panics if `positions.len()` differs from the matrix dimension.
+pub fn clique_manhattan(a: &gfp_linalg::Mat, positions: &[(f64, f64)]) -> f64 {
+    let n = a.nrows();
+    assert_eq!(positions.len(), n, "positions length must match A");
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = a[(i, j)] + a[(j, i)];
+            if w == 0.0 {
+                continue;
+            }
+            let dx = (positions[i].0 - positions[j].0).abs();
+            let dy = (positions[i].1 - positions[j].1).abs();
+            total += w * (dx + dy);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Module, Net, Netlist, Pad, PinRef};
+
+    fn netlist() -> Netlist {
+        Netlist::new(
+            vec![Module::new("a", 1.0), Module::new("b", 1.0)],
+            vec![Pad::new("p", 10.0, 0.0)],
+            vec![
+                Net::new("m2m", vec![PinRef::Module(0), PinRef::Module(1)]),
+                Net::new("m2p", vec![PinRef::Module(1), PinRef::Pad(0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hpwl_of_known_layout() {
+        let nl = netlist();
+        let pos = [(0.0, 0.0), (3.0, 4.0)];
+        // net m2m: bbox 3 + 4 = 7; net m2p: |10-3| + |0-4| = 11.
+        assert!((hpwl(&nl, &pos) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_net_scales() {
+        let mut nl = netlist();
+        let mut nets = nl.nets().to_vec();
+        nets[0].weight = 3.0;
+        nl = Netlist::new(nl.modules().to_vec(), nl.pads().to_vec(), nets).unwrap();
+        let pos = [(0.0, 0.0), (3.0, 4.0)];
+        assert!((hpwl(&nl, &pos) - (3.0 * 7.0 + 11.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_pins_give_zero() {
+        let nl = netlist();
+        let pos = [(10.0, 0.0), (10.0, 0.0)];
+        assert_eq!(hpwl(&nl, &pos), 0.0);
+    }
+
+    #[test]
+    fn single_pin_net_is_zero() {
+        let nl = Netlist::new(
+            vec![Module::new("a", 1.0)],
+            vec![],
+            vec![Net::new("lonely", vec![PinRef::Module(0)])],
+        )
+        .unwrap();
+        assert_eq!(hpwl(&nl, &[(5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn clique_manhattan_matches_hand_computation() {
+        let mut a = gfp_linalg::Mat::zeros(2, 2);
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        let pos = [(0.0, 0.0), (1.0, 2.0)];
+        // weight 4 total (both triangle halves) × (1 + 2) = 12.
+        assert!((clique_manhattan(&a, &pos) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant_without_pads() {
+        let nl = Netlist::new(
+            vec![Module::new("a", 1.0), Module::new("b", 1.0)],
+            vec![],
+            vec![Net::new("n", vec![PinRef::Module(0), PinRef::Module(1)])],
+        )
+        .unwrap();
+        let p1 = [(0.0, 0.0), (3.0, 4.0)];
+        let p2 = [(100.0, -50.0), (103.0, -46.0)];
+        assert!((hpwl(&nl, &p1) - hpwl(&nl, &p2)).abs() < 1e-12);
+    }
+}

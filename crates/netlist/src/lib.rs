@@ -1,0 +1,45 @@
+//! Circuit model for global floorplanning.
+//!
+//! Provides the input side of the DAC 2023 SDP floorplanner:
+//!
+//! * [`Netlist`] — soft modules with minimum-area constraints, fixed
+//!   I/O pads and weighted hyper-edge nets (Section II of the paper).
+//! * [`adjacency`] — clique-model reduction of hyper-edges to the
+//!   module-module connectivity matrix `A` and the module-pad matrix
+//!   `Ā`.
+//! * [`hpwl`] — half-perimeter wirelength evaluation, the metric of
+//!   every table and figure.
+//! * [`Outline`] — fixed outlines at the paper's 1:1 and 1:2 aspect
+//!   ratios.
+//! * [`bookshelf`] — parser + writer for the GSRC bookshelf text
+//!   formats (`.blocks` / `.nets` / `.pl`), so real benchmark files
+//!   drop in unchanged.
+//! * [`suite`] — deterministic synthetic stand-ins for the MCNC and
+//!   GSRC benchmarks with block/net statistics matched to the paper
+//!   (the original files are not redistributable).
+//!
+//! # Example
+//!
+//! ```
+//! use gfp_netlist::suite;
+//!
+//! let bench = suite::gsrc_n10();
+//! assert_eq!(bench.netlist.modules().len(), 10);
+//! assert_eq!(bench.netlist.nets().len(), 118);
+//! ```
+
+mod error;
+mod model;
+mod outline;
+
+pub mod adjacency;
+pub mod geometry;
+pub mod bookshelf;
+pub mod hpwl;
+pub mod svg;
+pub mod yal;
+pub mod suite;
+
+pub use error::NetlistError;
+pub use model::{Module, Net, Netlist, Pad, PinRef};
+pub use outline::Outline;

@@ -1,0 +1,337 @@
+use std::collections::HashMap;
+
+use crate::NetlistError;
+
+/// A soft module (block) with a minimum-area constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Unique name.
+    pub name: String,
+    /// Minimum area `s_i` the module must receive.
+    pub area: f64,
+    /// Pre-placed (PPM) center, if the module is fixed.
+    pub fixed: Option<(f64, f64)>,
+    /// Per-module aspect-ratio bounds `(min w/h, max w/h)`, as the
+    /// bookshelf `.blocks` format specifies them. `None` means the
+    /// experiment-wide limit applies.
+    pub aspect_bounds: Option<(f64, f64)>,
+}
+
+impl Module {
+    /// Creates a movable soft module.
+    pub fn new(name: impl Into<String>, area: f64) -> Self {
+        Module {
+            name: name.into(),
+            area,
+            fixed: None,
+            aspect_bounds: None,
+        }
+    }
+
+    /// Creates a pre-placed module fixed at center `(x, y)`.
+    pub fn fixed(name: impl Into<String>, area: f64, x: f64, y: f64) -> Self {
+        Module {
+            name: name.into(),
+            area,
+            fixed: Some((x, y)),
+            aspect_bounds: None,
+        }
+    }
+
+    /// Sets per-module aspect-ratio bounds `(min w/h, max w/h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min ≤ max`.
+    pub fn with_aspect_bounds(mut self, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= max, "need 0 < min <= max");
+        self.aspect_bounds = Some((min, max));
+        self
+    }
+}
+
+/// A fixed I/O pad on (or near) the chip boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pad {
+    /// Unique name.
+    pub name: String,
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Pad {
+    /// Creates a pad at `(x, y)`.
+    pub fn new(name: impl Into<String>, x: f64, y: f64) -> Self {
+        Pad {
+            name: name.into(),
+            x,
+            y,
+        }
+    }
+}
+
+/// Endpoint of a net: either a module (by index) or a pad (by index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinRef {
+    /// Index into [`Netlist::modules`].
+    Module(usize),
+    /// Index into [`Netlist::pads`].
+    Pad(usize),
+}
+
+/// A weighted hyper-edge connecting modules and pads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Name (may be synthesized, e.g. `n42`).
+    pub name: String,
+    /// Signal weight (multiplicity); 1.0 for plain nets.
+    pub weight: f64,
+    /// Endpoints.
+    pub pins: Vec<PinRef>,
+}
+
+impl Net {
+    /// Creates a unit-weight net.
+    pub fn new(name: impl Into<String>, pins: Vec<PinRef>) -> Self {
+        Net {
+            name: name.into(),
+            weight: 1.0,
+            pins,
+        }
+    }
+
+    /// Module indices among the pins (without deduplication).
+    pub fn module_pins(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pins.iter().filter_map(|p| match p {
+            PinRef::Module(i) => Some(*i),
+            PinRef::Pad(_) => None,
+        })
+    }
+
+    /// Pad indices among the pins.
+    pub fn pad_pins(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pins.iter().filter_map(|p| match p {
+            PinRef::Pad(i) => Some(*i),
+            PinRef::Module(_) => None,
+        })
+    }
+}
+
+/// A complete floorplanning instance: modules, pads and nets.
+///
+/// # Example
+///
+/// ```
+/// use gfp_netlist::{Module, Net, Netlist, Pad, PinRef};
+///
+/// # fn main() -> Result<(), gfp_netlist::NetlistError> {
+/// let netlist = Netlist::new(
+///     vec![Module::new("a", 100.0), Module::new("b", 200.0)],
+///     vec![Pad::new("p0", 0.0, 0.0)],
+///     vec![Net::new("n0", vec![PinRef::Module(0), PinRef::Module(1), PinRef::Pad(0)])],
+/// )?;
+/// assert_eq!(netlist.total_area(), 300.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    modules: Vec<Module>,
+    pads: Vec<Pad>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Builds and validates a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] for repeated module/pad
+    /// names, [`NetlistError::InvalidArea`] for non-positive areas and
+    /// [`NetlistError::UnknownPin`] for out-of-range pin indices.
+    pub fn new(
+        modules: Vec<Module>,
+        pads: Vec<Pad>,
+        nets: Vec<Net>,
+    ) -> Result<Self, NetlistError> {
+        let mut seen = HashMap::new();
+        for m in &modules {
+            if m.area <= 0.0 || !m.area.is_finite() {
+                return Err(NetlistError::InvalidArea {
+                    name: m.name.clone(),
+                    area: m.area,
+                });
+            }
+            if seen.insert(m.name.clone(), ()).is_some() {
+                return Err(NetlistError::DuplicateName {
+                    name: m.name.clone(),
+                });
+            }
+        }
+        for p in &pads {
+            if seen.insert(p.name.clone(), ()).is_some() {
+                return Err(NetlistError::DuplicateName {
+                    name: p.name.clone(),
+                });
+            }
+        }
+        for net in &nets {
+            for pin in &net.pins {
+                let ok = match pin {
+                    PinRef::Module(i) => *i < modules.len(),
+                    PinRef::Pad(i) => *i < pads.len(),
+                };
+                if !ok {
+                    return Err(NetlistError::UnknownPin {
+                        name: format!("{pin:?}"),
+                        net: net.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Netlist {
+            modules,
+            pads,
+            nets,
+        })
+    }
+
+    /// The modules, in index order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The pads, in index order.
+    pub fn pads(&self) -> &[Pad] {
+        &self.pads
+    }
+
+    /// The nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Sum of all module areas.
+    pub fn total_area(&self) -> f64 {
+        self.modules.iter().map(|m| m.area).sum()
+    }
+
+    /// Module index by name.
+    pub fn module_index(&self, name: &str) -> Option<usize> {
+        self.modules.iter().position(|m| m.name == name)
+    }
+
+    /// Pad index by name.
+    pub fn pad_index(&self, name: &str) -> Option<usize> {
+        self.pads.iter().position(|p| p.name == name)
+    }
+
+    /// Returns a copy with module `idx` fixed at `(x, y)` (PPM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn with_fixed_module(&self, idx: usize, x: f64, y: f64) -> Netlist {
+        let mut out = self.clone();
+        out.modules[idx].fixed = Some((x, y));
+        out
+    }
+
+    /// Replaces all pad locations (e.g. to snap them onto an outline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations.len() != self.pads().len()`.
+    pub fn with_pad_locations(&self, locations: &[(f64, f64)]) -> Netlist {
+        assert_eq!(locations.len(), self.pads.len(), "pad count mismatch");
+        let mut out = self.clone();
+        for (p, &(x, y)) in out.pads.iter_mut().zip(locations.iter()) {
+            p.x = x;
+            p.y = y;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        Netlist::new(
+            vec![Module::new("a", 4.0), Module::new("b", 9.0)],
+            vec![Pad::new("p", 1.0, 2.0)],
+            vec![Net::new(
+                "n0",
+                vec![PinRef::Module(0), PinRef::Module(1), PinRef::Pad(0)],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let nl = tiny();
+        assert_eq!(nl.num_modules(), 2);
+        assert_eq!(nl.total_area(), 13.0);
+        assert_eq!(nl.module_index("b"), Some(1));
+        assert_eq!(nl.pad_index("p"), Some(0));
+        assert_eq!(nl.module_index("zzz"), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Netlist::new(
+            vec![Module::new("a", 1.0), Module::new("a", 2.0)],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(err, Err(NetlistError::DuplicateName { .. })));
+        // Pad colliding with module name is also a duplicate.
+        let err2 = Netlist::new(
+            vec![Module::new("a", 1.0)],
+            vec![Pad::new("a", 0.0, 0.0)],
+            vec![],
+        );
+        assert!(matches!(err2, Err(NetlistError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_area_and_bad_pin() {
+        assert!(matches!(
+            Netlist::new(vec![Module::new("a", 0.0)], vec![], vec![]),
+            Err(NetlistError::InvalidArea { .. })
+        ));
+        assert!(matches!(
+            Netlist::new(
+                vec![Module::new("a", 1.0)],
+                vec![],
+                vec![Net::new("n", vec![PinRef::Module(7)])],
+            ),
+            Err(NetlistError::UnknownPin { .. })
+        ));
+    }
+
+    #[test]
+    fn net_pin_iterators() {
+        let nl = tiny();
+        let net = &nl.nets()[0];
+        assert_eq!(net.module_pins().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(net.pad_pins().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn fixing_modules_and_moving_pads() {
+        let nl = tiny().with_fixed_module(0, 5.0, 6.0);
+        assert_eq!(nl.modules()[0].fixed, Some((5.0, 6.0)));
+        let nl2 = nl.with_pad_locations(&[(9.0, 9.0)]);
+        assert_eq!(nl2.pads()[0].x, 9.0);
+    }
+}

@@ -1,0 +1,145 @@
+/// A fixed rectangular chip outline with its lower-left corner at the
+/// origin.
+///
+/// The paper evaluates at outline aspect ratios 1:1 and 1:2
+/// (height : width) with the outline area derived from the total
+/// module area plus a whitespace fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outline {
+    /// Width (x extent).
+    pub width: f64,
+    /// Height (y extent).
+    pub height: f64,
+}
+
+impl Outline {
+    /// Creates an outline with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "outline dimensions must be positive"
+        );
+        Outline { width, height }
+    }
+
+    /// Derives the outline from a total module area, a whitespace
+    /// fraction `γ` (e.g. 0.15 for 15 % slack) and an aspect ratio
+    /// `height / width`.
+    ///
+    /// `width · height = (1 + γ) · total_area`, `height = ratio · width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive (γ may be zero).
+    pub fn from_area(total_area: f64, whitespace: f64, ratio: f64) -> Self {
+        assert!(total_area > 0.0 && whitespace >= 0.0 && ratio > 0.0);
+        let area = total_area * (1.0 + whitespace);
+        let width = (area / ratio).sqrt();
+        Outline::new(width, ratio * width)
+    }
+
+    /// Outline area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Aspect ratio `height / width`.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.height / self.width
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Whether `(x, y)` lies inside (inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        (0.0..=self.width).contains(&x) && (0.0..=self.height).contains(&y)
+    }
+
+    /// Places `count` points evenly around the outline boundary,
+    /// starting at the origin and walking counter-clockwise. Used to
+    /// pin I/O pads to the boundary as in Table II.
+    pub fn boundary_points(&self, count: usize) -> Vec<(f64, f64)> {
+        let perimeter = 2.0 * (self.width + self.height);
+        (0..count)
+            .map(|k| {
+                let mut t = perimeter * (k as f64) / (count as f64);
+                if t < self.width {
+                    return (t, 0.0);
+                }
+                t -= self.width;
+                if t < self.height {
+                    return (self.width, t);
+                }
+                t -= self.height;
+                if t < self.width {
+                    return (self.width - t, self.height);
+                }
+                t -= self.width;
+                (0.0, self.height - t)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_area_respects_ratio_and_whitespace() {
+        let o = Outline::from_area(100.0, 0.21, 2.0);
+        assert!((o.area() - 121.0).abs() < 1e-9);
+        assert!((o.aspect_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_and_center() {
+        let o = Outline::new(10.0, 20.0);
+        assert!(o.contains(0.0, 0.0));
+        assert!(o.contains(10.0, 20.0));
+        assert!(!o.contains(10.1, 5.0));
+        assert_eq!(o.center(), (5.0, 10.0));
+    }
+
+    #[test]
+    fn boundary_points_lie_on_boundary() {
+        let o = Outline::new(8.0, 4.0);
+        let pts = o.boundary_points(13);
+        assert_eq!(pts.len(), 13);
+        for &(x, y) in &pts {
+            let on_edge = x.abs() < 1e-9
+                || (x - o.width).abs() < 1e-9
+                || y.abs() < 1e-9
+                || (y - o.height).abs() < 1e-9;
+            assert!(on_edge, "({x},{y}) not on boundary");
+            assert!(o.contains(x, y));
+        }
+        // First point is the origin.
+        assert_eq!(pts[0], (0.0, 0.0));
+    }
+
+    #[test]
+    fn boundary_points_are_distinct() {
+        let o = Outline::new(5.0, 5.0);
+        let pts = o.boundary_points(8);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d = (pts[i].0 - pts[j].0).abs() + (pts[i].1 - pts[j].1).abs();
+                assert!(d > 1e-9, "points {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = Outline::new(0.0, 1.0);
+    }
+}

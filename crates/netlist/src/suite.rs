@@ -1,0 +1,376 @@
+//! Synthetic benchmark suite matched to the paper's statistics.
+//!
+//! The original GSRC (n10–n200) and MCNC (ami33, ami49) files are not
+//! redistributable here, so each benchmark is regenerated from a fixed
+//! seed with the block count, net count, pin-degree distribution, pad
+//! count and area spread matched to the published statistics (Tables
+//! II/III of the paper and the benchmark releases). The floorplanning
+//! algorithms only see (areas, hyper-edges, pad locations), so matched
+//! statistics exercise exactly the same code paths; see DESIGN.md for
+//! the substitution rationale. Real files can be loaded through
+//! [`crate::bookshelf::parse`] instead and used interchangeably.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Module, Net, Netlist, Outline, Pad, PinRef};
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (`n10`, `ami33`, …).
+    pub name: String,
+    /// The generated netlist (pads on the boundary of the nominal
+    /// square outline).
+    pub netlist: Netlist,
+    /// Whitespace fraction used to derive outlines.
+    pub whitespace: f64,
+}
+
+impl Benchmark {
+    /// Fixed outline at the given aspect `ratio` (height / width),
+    /// sized from the total module area and the suite whitespace.
+    pub fn outline(&self, ratio: f64) -> Outline {
+        Outline::from_area(self.netlist.total_area(), self.whitespace, ratio)
+    }
+
+    /// Returns a copy with the pads snapped onto the boundary of the
+    /// outline at the given aspect ratio (the paper fixes I/O pads on
+    /// the chip boundary in Table II).
+    pub fn with_pads_on_outline(&self, ratio: f64) -> (Netlist, Outline) {
+        let outline = self.outline(ratio);
+        let pts = outline.boundary_points(self.netlist.pads().len().max(1));
+        let nl = self
+            .netlist
+            .with_pad_locations(&pts[..self.netlist.pads().len()]);
+        (nl, outline)
+    }
+}
+
+/// Generation parameters for one synthetic benchmark.
+#[derive(Debug, Clone)]
+pub struct SuiteSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of soft modules.
+    pub modules: usize,
+    /// Number of nets (matched to the paper's "net #" column).
+    pub nets: usize,
+    /// Number of I/O pads.
+    pub pads: usize,
+    /// Smallest module area.
+    pub area_min: f64,
+    /// Largest module area.
+    pub area_max: f64,
+    /// RNG seed (fixed per benchmark for bit-reproducibility).
+    pub seed: u64,
+}
+
+/// Generates a benchmark from its spec.
+///
+/// Deterministic: the same spec always yields the same netlist.
+///
+/// # Panics
+///
+/// Panics if the spec has fewer than 2 modules or invalid areas.
+pub fn generate(spec: &SuiteSpec) -> Benchmark {
+    assert!(spec.modules >= 2, "need at least two modules");
+    assert!(spec.area_min > 0.0 && spec.area_max >= spec.area_min);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Areas: skewed towards small blocks, like the real suites where a
+    // few macros dominate.
+    let modules: Vec<Module> = (0..spec.modules)
+        .map(|i| {
+            let u: f64 = rng.gen();
+            let area = spec.area_min * (spec.area_max / spec.area_min).powf(u * u);
+            Module::new(format!("sb{i}"), (area * 100.0).round() / 100.0)
+        })
+        .collect();
+
+    // Pads on the boundary of the nominal square outline.
+    let total: f64 = modules.iter().map(|m| m.area).sum();
+    let nominal = Outline::from_area(total, 0.15, 1.0);
+    let pads: Vec<Pad> = nominal
+        .boundary_points(spec.pads.max(1))
+        .into_iter()
+        .take(spec.pads)
+        .enumerate()
+        .map(|(i, (x, y))| Pad::new(format!("p{}", i + 1), x, y))
+        .collect();
+
+    // Nets: degree distribution matched to the GSRC profile
+    // (mostly 2-pin, a tail of wider hyper-edges); roughly a quarter of
+    // nets touch an I/O pad.
+    let mut nets = Vec::with_capacity(spec.nets);
+    for k in 0..spec.nets {
+        let degree = sample_degree(&mut rng);
+        let use_pad = !pads.is_empty() && rng.gen::<f64>() < 0.25;
+        let module_pins = if use_pad { degree - 1 } else { degree };
+        let module_pins = module_pins.min(spec.modules).max(1);
+        let mut chosen = Vec::with_capacity(degree);
+        // Sample distinct modules.
+        let mut picked = vec![false; spec.modules];
+        // Guarantee coverage: the first `modules` nets each anchor one
+        // distinct module so no module is disconnected.
+        let anchor = k % spec.modules;
+        picked[anchor] = true;
+        chosen.push(PinRef::Module(anchor));
+        while chosen.len() < module_pins {
+            let m = rng.gen_range(0..spec.modules);
+            if !picked[m] {
+                picked[m] = true;
+                chosen.push(PinRef::Module(m));
+            }
+        }
+        if use_pad {
+            chosen.push(PinRef::Pad(rng.gen_range(0..pads.len())));
+        }
+        if chosen.len() < 2 {
+            // Degenerate single-pin net: attach a second distinct module.
+            let m = (anchor + 1) % spec.modules;
+            chosen.push(PinRef::Module(m));
+        }
+        nets.push(Net::new(format!("net{k}"), chosen));
+    }
+
+    let netlist = Netlist::new(modules, pads, nets).expect("generator produces valid netlists");
+    Benchmark {
+        name: spec.name.to_string(),
+        netlist,
+        whitespace: 0.15,
+    }
+}
+
+fn sample_degree(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    match u {
+        _ if u < 0.62 => 2,
+        _ if u < 0.82 => 3,
+        _ if u < 0.92 => 4,
+        _ if u < 0.97 => 5,
+        _ => 6,
+    }
+}
+
+/// Specs matched to the paper's Table II/III statistics.
+pub fn specs() -> Vec<SuiteSpec> {
+    vec![
+        SuiteSpec {
+            name: "n10",
+            modules: 10,
+            nets: 118,
+            pads: 69,
+            area_min: 1_000.0,
+            area_max: 35_000.0,
+            seed: 0x6e31_0001,
+        },
+        SuiteSpec {
+            name: "n30",
+            modules: 30,
+            nets: 349,
+            pads: 212,
+            area_min: 800.0,
+            area_max: 17_000.0,
+            seed: 0x6e33_0003,
+        },
+        SuiteSpec {
+            name: "n50",
+            modules: 50,
+            nets: 485,
+            pads: 209,
+            area_min: 600.0,
+            area_max: 10_000.0,
+            seed: 0x6e35_0005,
+        },
+        SuiteSpec {
+            name: "n100",
+            modules: 100,
+            nets: 885,
+            pads: 334,
+            area_min: 300.0,
+            area_max: 5_000.0,
+            seed: 0x6e31_0100,
+        },
+        SuiteSpec {
+            name: "n200",
+            modules: 200,
+            nets: 1_585,
+            pads: 564,
+            area_min: 150.0,
+            area_max: 2_500.0,
+            seed: 0x6e32_0200,
+        },
+        SuiteSpec {
+            name: "n300",
+            modules: 300,
+            nets: 1_893,
+            pads: 569,
+            area_min: 100.0,
+            area_max: 1_800.0,
+            seed: 0x6e33_0300,
+        },
+        SuiteSpec {
+            name: "ami33",
+            modules: 33,
+            nets: 123,
+            pads: 42,
+            area_min: 10_000.0,
+            area_max: 120_000.0,
+            seed: 0xa331_0033,
+        },
+        SuiteSpec {
+            name: "ami49",
+            modules: 49,
+            nets: 408,
+            pads: 22,
+            area_min: 20_000.0,
+            area_max: 1_600_000.0,
+            seed: 0xa349_0049,
+        },
+    ]
+}
+
+/// Generates a benchmark by name.
+///
+/// # Panics
+///
+/// Panics for unknown names; see [`specs`] for the valid set.
+pub fn by_name(name: &str) -> Benchmark {
+    let spec = specs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    generate(&spec)
+}
+
+/// The GSRC n10 stand-in (10 modules, 118 nets).
+pub fn gsrc_n10() -> Benchmark {
+    by_name("n10")
+}
+/// The GSRC n30 stand-in (30 modules, 349 nets).
+pub fn gsrc_n30() -> Benchmark {
+    by_name("n30")
+}
+/// The GSRC n50 stand-in (50 modules, 485 nets).
+pub fn gsrc_n50() -> Benchmark {
+    by_name("n50")
+}
+/// The GSRC n100 stand-in (100 modules, 885 nets).
+pub fn gsrc_n100() -> Benchmark {
+    by_name("n100")
+}
+/// The GSRC n200 stand-in (200 modules, 1585 nets).
+pub fn gsrc_n200() -> Benchmark {
+    by_name("n200")
+}
+/// The GSRC n300 stand-in (300 modules, 1893 nets).
+pub fn gsrc_n300() -> Benchmark {
+    by_name("n300")
+}
+/// The MCNC ami33 stand-in (33 modules, 123 nets).
+pub fn mcnc_ami33() -> Benchmark {
+    by_name("ami33")
+}
+/// The MCNC ami49 stand-in (49 modules, 408 nets).
+pub fn mcnc_ami49() -> Benchmark {
+    by_name("ami49")
+}
+
+/// All seven benchmarks in paper order.
+pub fn all() -> Vec<Benchmark> {
+    specs().iter().map(generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_paper() {
+        for (name, modules, nets) in [
+            ("n10", 10, 118),
+            ("n30", 30, 349),
+            ("n50", 50, 485),
+            ("n100", 100, 885),
+            ("n200", 200, 1585),
+            ("n300", 300, 1893),
+            ("ami33", 33, 123),
+            ("ami49", 49, 408),
+        ] {
+            let b = by_name(name);
+            assert_eq!(b.netlist.num_modules(), modules, "{name} modules");
+            assert_eq!(b.netlist.nets().len(), nets, "{name} nets");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gsrc_n10();
+        let b = gsrc_n10();
+        assert_eq!(a.netlist, b.netlist);
+    }
+
+    #[test]
+    fn every_module_is_connected() {
+        for b in all() {
+            let n = b.netlist.num_modules();
+            let mut touched = vec![false; n];
+            for net in b.netlist.nets() {
+                for m in net.module_pins() {
+                    touched[m] = true;
+                }
+            }
+            assert!(
+                touched.iter().all(|&t| t),
+                "{}: disconnected module exists",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_nets_have_at_least_two_pins() {
+        for b in all() {
+            for net in b.netlist.nets() {
+                assert!(net.pins.len() >= 2, "{}: net {} too small", b.name, net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn outline_and_pad_snapping() {
+        let b = gsrc_n10();
+        let (nl, outline) = b.with_pads_on_outline(2.0);
+        assert!((outline.aspect_ratio() - 2.0).abs() < 1e-12);
+        for p in nl.pads() {
+            let on_edge = p.x.abs() < 1e-9
+                || (p.x - outline.width).abs() < 1e-9
+                || p.y.abs() < 1e-9
+                || (p.y - outline.height).abs() < 1e-9;
+            assert!(on_edge, "pad {} not on outline", p.name);
+        }
+    }
+
+    #[test]
+    fn areas_are_positive_and_spread() {
+        let b = gsrc_n100();
+        let areas: Vec<f64> = b.netlist.modules().iter().map(|m| m.area).collect();
+        let min = areas.iter().cloned().fold(f64::MAX, f64::min);
+        let max = areas.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min > 0.0);
+        assert!(max / min > 3.0, "area spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn bookshelf_roundtrip_of_generated_suite() {
+        let b = gsrc_n30();
+        let files = crate::bookshelf::write(&b.netlist, 1.0 / 3.0, 3.0);
+        let parsed = crate::bookshelf::parse(&files).unwrap();
+        assert_eq!(parsed.num_modules(), 30);
+        assert_eq!(parsed.nets().len(), 349);
+        for (a, bb) in b.netlist.nets().iter().zip(parsed.nets().iter()) {
+            assert_eq!(a.pins, bb.pins);
+        }
+    }
+}

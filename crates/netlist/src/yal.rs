@@ -1,0 +1,366 @@
+//! MCNC YAL format parser.
+//!
+//! The original MCNC floorplanning benchmarks (ami33, ami49, apte,
+//! hp, xerox) ship in YAL: a list of `MODULE` blocks, one per cell
+//! type, plus one `TYPE PARENT` module whose `NETWORK` section
+//! instantiates them and wires signals:
+//!
+//! ```text
+//! MODULE cc_11;
+//! TYPE GENERAL;
+//! DIMENSIONS 0 0 0 378 133 378 133 0;
+//! IOLIST;
+//!   P1 B 66.5 0 METAL2;
+//! ENDIOLIST;
+//! ENDMODULE;
+//!
+//! MODULE bound;
+//! TYPE PARENT;
+//! IOLIST;
+//!   VSS PB -1000 2000;
+//! ENDIOLIST;
+//! NETWORK;
+//!   C1 cc_11 VSS N103 N104;
+//! ENDNETWORK;
+//! ENDMODULE;
+//! ```
+//!
+//! The parser extracts what global floorplanning needs: one soft
+//! module per instance (area = bounding box of `DIMENSIONS`), one pad
+//! per parent `IOLIST` entry, and one hyper-edge per signal that
+//! touches two or more endpoints. Power/ground signals (`VDD`, `VSS`,
+//! `GND`, `POW`) are skipped by default, as floorplanners
+//! conventionally do.
+
+use std::collections::HashMap;
+
+use crate::{Module, Net, Netlist, NetlistError, Pad, PinRef};
+
+/// Options for [`parse`].
+#[derive(Debug, Clone)]
+pub struct YalOptions {
+    /// Skip power/ground signals when forming nets.
+    pub skip_power: bool,
+}
+
+impl Default for YalOptions {
+    fn default() -> Self {
+        YalOptions { skip_power: true }
+    }
+}
+
+fn is_power_signal(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "VDD" | "VSS" | "GND" | "POW" | "PWR" | "VCC"
+    )
+}
+
+/// Splits YAL text into `;`-terminated statements, dropping comments
+/// (`/* … */` blocks and `$ …` line comments).
+fn statements(text: &str) -> Vec<String> {
+    let mut cleaned = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' && chars.peek() == Some(&'*') {
+            chars.next();
+            // consume until "*/"
+            let mut prev = ' ';
+            for c2 in chars.by_ref() {
+                if prev == '*' && c2 == '/' {
+                    break;
+                }
+                prev = c2;
+            }
+            cleaned.push(' ');
+        } else if c == '$' {
+            for c2 in chars.by_ref() {
+                if c2 == '\n' {
+                    break;
+                }
+            }
+            cleaned.push('\n');
+        } else {
+            cleaned.push(c);
+        }
+    }
+    cleaned
+        .split(';')
+        .map(|s| s.split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct ModuleDef {
+    area: f64,
+    /// Pin names in IOLIST order (signals map positionally).
+    pins: Vec<String>,
+}
+
+/// Parses YAL text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed input (missing
+/// parent, unknown module types, bad dimension lists) and the usual
+/// construction errors.
+pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> {
+    let stmts = statements(text);
+    let err = |reason: String| NetlistError::Parse {
+        file: "yal",
+        line: 0,
+        reason,
+    };
+
+    let mut defs: HashMap<String, ModuleDef> = HashMap::new();
+    let mut parent_pads: Vec<Pad> = Vec::new();
+    // (instance name, module type, signals)
+    let mut instances: Vec<(String, String, Vec<String>)> = Vec::new();
+
+    let mut k = 0usize;
+    while k < stmts.len() {
+        let s = &stmts[k];
+        k += 1;
+        let Some(rest) = s.strip_prefix("MODULE ") else {
+            continue;
+        };
+        let mod_name = rest.trim().to_string();
+        let mut def = ModuleDef::default();
+        let mut is_parent = false;
+        // Scan until ENDMODULE.
+        while k < stmts.len() && stmts[k] != "ENDMODULE" {
+            let st = stmts[k].clone();
+            k += 1;
+            if let Some(t) = st.strip_prefix("TYPE ") {
+                is_parent = t.trim().eq_ignore_ascii_case("PARENT");
+            } else if let Some(d) = st.strip_prefix("DIMENSIONS ") {
+                let nums: Result<Vec<f64>, _> =
+                    d.split_whitespace().map(str::parse::<f64>).collect();
+                let nums = nums.map_err(|_| err(format!("bad DIMENSIONS in {mod_name}")))?;
+                if nums.len() < 6 || nums.len() % 2 != 0 {
+                    return Err(err(format!("DIMENSIONS needs ≥3 (x,y) pairs in {mod_name}")));
+                }
+                let xs: Vec<f64> = nums.iter().step_by(2).copied().collect();
+                let ys: Vec<f64> = nums.iter().skip(1).step_by(2).copied().collect();
+                let w = xs.iter().cloned().fold(f64::MIN, f64::max)
+                    - xs.iter().cloned().fold(f64::MAX, f64::min);
+                let h = ys.iter().cloned().fold(f64::MIN, f64::max)
+                    - ys.iter().cloned().fold(f64::MAX, f64::min);
+                def.area = w * h;
+            } else if st == "IOLIST" {
+                while k < stmts.len() && stmts[k] != "ENDIOLIST" {
+                    let pin = stmts[k].clone();
+                    k += 1;
+                    let tokens: Vec<&str> = pin.split_whitespace().collect();
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    if is_parent {
+                        // Parent pins are chip pads: name [type] x y …
+                        let name = tokens[0].to_string();
+                        let coords: Vec<f64> = tokens[1..]
+                            .iter()
+                            .filter_map(|t| t.parse::<f64>().ok())
+                            .collect();
+                        let (x, y) = match coords.len() {
+                            0 | 1 => (0.0, 0.0),
+                            _ => (coords[0], coords[1]),
+                        };
+                        parent_pads.push(Pad::new(name, x, y));
+                    } else {
+                        def.pins.push(tokens[0].to_string());
+                    }
+                }
+                k += 1; // skip ENDIOLIST
+            } else if st == "NETWORK" {
+                while k < stmts.len() && stmts[k] != "ENDNETWORK" {
+                    let line = stmts[k].clone();
+                    k += 1;
+                    let tokens: Vec<String> =
+                        line.split_whitespace().map(str::to_string).collect();
+                    if tokens.len() < 2 {
+                        return Err(err(format!("bad NETWORK line: {line}")));
+                    }
+                    instances.push((
+                        tokens[0].clone(),
+                        tokens[1].clone(),
+                        tokens[2..].to_vec(),
+                    ));
+                }
+                k += 1; // skip ENDNETWORK
+            }
+        }
+        k += 1; // skip ENDMODULE
+        if !is_parent {
+            defs.insert(mod_name, def);
+        }
+    }
+
+    if instances.is_empty() {
+        return Err(err("no TYPE PARENT module with a NETWORK section found".into()));
+    }
+
+    // Build modules (one per instance) and signal → endpoints map.
+    let mut modules = Vec::with_capacity(instances.len());
+    let mut signal_endpoints: HashMap<String, Vec<PinRef>> = HashMap::new();
+    for (idx, (inst, mod_type, signals)) in instances.iter().enumerate() {
+        let def = defs
+            .get(mod_type)
+            .ok_or_else(|| err(format!("instance {inst} references unknown module {mod_type}")))?;
+        if def.area <= 0.0 {
+            return Err(err(format!("module type {mod_type} has no DIMENSIONS")));
+        }
+        modules.push(Module::new(inst.clone(), def.area));
+        for sig in signals {
+            if options.skip_power && is_power_signal(sig) {
+                continue;
+            }
+            signal_endpoints
+                .entry(sig.clone())
+                .or_default()
+                .push(PinRef::Module(idx));
+        }
+    }
+    // Pads participate in nets through their signal name.
+    let pad_index: HashMap<&str, usize> = parent_pads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    for (sig, &pi) in &pad_index {
+        if options.skip_power && is_power_signal(sig) {
+            continue;
+        }
+        if let Some(eps) = signal_endpoints.get_mut(*sig) {
+            eps.push(PinRef::Pad(pi));
+        }
+    }
+
+    let mut signals: Vec<(String, Vec<PinRef>)> = signal_endpoints.into_iter().collect();
+    signals.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
+    let nets: Vec<Net> = signals
+        .into_iter()
+        .filter(|(_, eps)| {
+            // A net needs >= 2 endpoints after deduplication.
+            let mut uniq = eps.clone();
+            uniq.sort_by_key(|p| match p {
+                PinRef::Module(i) => (0, *i),
+                PinRef::Pad(i) => (1, *i),
+            });
+            uniq.dedup();
+            uniq.len() >= 2
+        })
+        .map(|(name, mut eps)| {
+            eps.sort_by_key(|p| match p {
+                PinRef::Module(i) => (0, *i),
+                PinRef::Pad(i) => (1, *i),
+            });
+            eps.dedup();
+            Net::new(name, eps)
+        })
+        .collect();
+
+    Netlist::new(modules, parent_pads, nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+/* a tiny YAL sample in the MCNC style */
+MODULE cell_a;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 10 20 10 20 0;
+IOLIST;
+  P1 B 0 5 METAL1;
+  P2 B 20 5 METAL1;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE cell_b;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 30 10 30 10 0;
+IOLIST;
+  P1 B 5 0 METAL1;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE bound;
+TYPE PARENT;
+IOLIST;
+  PADIN PI 0 100;
+  VSS PB -10 -10;
+ENDIOLIST;
+NETWORK;
+  C1 cell_a SIG1 SIG2;
+  C2 cell_a SIG2 VSS;
+  C3 cell_b PADIN;
+ENDNETWORK;
+ENDMODULE;
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let nl = parse(SAMPLE, &YalOptions::default()).unwrap();
+        assert_eq!(nl.num_modules(), 3);
+        assert_eq!(nl.modules()[0].name, "C1");
+        assert_eq!(nl.modules()[0].area, 200.0); // 20 x 10
+        assert_eq!(nl.modules()[2].area, 300.0); // 10 x 30
+        assert_eq!(nl.pads().len(), 2);
+        assert_eq!(nl.pad_index("PADIN"), Some(0));
+        // Nets: SIG2 connects C1-C2; PADIN connects C3-pad. SIG1 is a
+        // dangling single-endpoint signal; VSS skipped as power.
+        assert_eq!(nl.nets().len(), 2, "{:?}", nl.nets());
+        let sig2 = nl.nets().iter().find(|n| n.name == "SIG2").unwrap();
+        assert_eq!(sig2.pins.len(), 2);
+        let padnet = nl.nets().iter().find(|n| n.name == "PADIN").unwrap();
+        assert!(padnet.pins.contains(&PinRef::Pad(0)));
+    }
+
+    #[test]
+    fn power_nets_kept_when_requested() {
+        let nl = parse(
+            SAMPLE,
+            &YalOptions { skip_power: false },
+        )
+        .unwrap();
+        // VSS now connects C2 and the VSS pad.
+        assert!(nl.nets().iter().any(|n| n.name == "VSS"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let with_comments = format!("$ line comment\n{SAMPLE}");
+        let nl = parse(&with_comments, &YalOptions::default()).unwrap();
+        assert_eq!(nl.num_modules(), 3);
+    }
+
+    #[test]
+    fn missing_parent_is_an_error() {
+        let text = "MODULE a; TYPE GENERAL; DIMENSIONS 0 0 0 1 1 1 1 0; ENDMODULE;";
+        assert!(matches!(
+            parse(text, &YalOptions::default()),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_instance_type_is_an_error() {
+        let text = "MODULE bound; TYPE PARENT; NETWORK; C1 nosuch SIG; ENDNETWORK; ENDMODULE;";
+        assert!(matches!(
+            parse(text, &YalOptions::default()),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_polygon_bbox() {
+        // L-shaped polygon: bbox 4 x 3.
+        let text = "MODULE a; TYPE GENERAL; DIMENSIONS 0 0 4 0 4 1 1 1 1 3 0 3; ENDMODULE;\nMODULE bound; TYPE PARENT; NETWORK; I1 a S1; I2 a S1; ENDNETWORK; ENDMODULE;";
+        let nl = parse(text, &YalOptions::default()).unwrap();
+        assert_eq!(nl.modules()[0].area, 12.0);
+        assert_eq!(nl.nets().len(), 1);
+    }
+}

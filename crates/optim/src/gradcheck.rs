@@ -1,0 +1,106 @@
+use crate::Objective;
+
+/// Report of a finite-difference gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest relative component error found.
+    pub max_rel_error: f64,
+    /// Index of the worst component.
+    pub worst_index: usize,
+    /// Analytic gradient at the check point.
+    pub analytic: Vec<f64>,
+    /// Central-difference gradient at the check point.
+    pub numeric: Vec<f64>,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient matches within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Compares the analytic gradient of `f` at `x` against central finite
+/// differences with step `h`.
+///
+/// Every baseline objective in the workspace is validated with this in
+/// its tests — analytic-gradient bugs are the classic silent killer of
+/// floorplanning baselines.
+///
+/// # Panics
+///
+/// Panics if `x.len() != f.dim()`.
+pub fn check_gradient<F: Objective>(f: &F, x: &[f64], h: f64) -> GradCheckReport {
+    let n = f.dim();
+    assert_eq!(x.len(), n, "x length must match objective dimension");
+    let mut analytic = vec![0.0; n];
+    let _ = f.value_grad(x, &mut analytic);
+    let mut numeric = vec![0.0; n];
+    let mut xp = x.to_vec();
+    for i in 0..n {
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f.value(&xp);
+        xp[i] = orig - h;
+        let fm = f.value(&xp);
+        xp[i] = orig;
+        numeric[i] = (fp - fm) / (2.0 * h);
+    }
+    let mut max_rel_error = 0.0;
+    let mut worst_index = 0;
+    for i in 0..n {
+        let scale = analytic[i].abs().max(numeric[i].abs()).max(1.0);
+        let rel = (analytic[i] - numeric[i]).abs() / scale;
+        if rel > max_rel_error {
+            max_rel_error = rel;
+            worst_index = i;
+        }
+    }
+    GradCheckReport {
+        max_rel_error,
+        worst_index,
+        analytic,
+        numeric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Cubic;
+    impl Objective for Cubic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value_grad(&self, x: &[f64], g: &mut [f64]) -> f64 {
+            g[0] = 3.0 * x[0] * x[0] + x[1];
+            g[1] = x[0] - 2.0 * x[1];
+            x[0].powi(3) + x[0] * x[1] - x[1] * x[1]
+        }
+    }
+
+    struct WrongGrad;
+    impl Objective for WrongGrad {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value_grad(&self, x: &[f64], g: &mut [f64]) -> f64 {
+            g[0] = 3.0 * x[0]; // should be 2 x
+            x[0] * x[0]
+        }
+    }
+
+    #[test]
+    fn correct_gradient_passes() {
+        let r = check_gradient(&Cubic, &[0.7, -1.3], 1e-6);
+        assert!(r.passes(1e-7), "max rel error {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let r = check_gradient(&WrongGrad, &[2.0], 1e-6);
+        assert!(!r.passes(1e-4));
+        assert_eq!(r.worst_index, 0);
+    }
+}

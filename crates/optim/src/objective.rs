@@ -1,0 +1,32 @@
+/// A smooth objective `f : Rⁿ → R` with gradient.
+///
+/// Implementors compute the value and write the gradient into the
+/// provided buffer in one pass (most floorplanning objectives share
+/// nearly all work between the two).
+pub trait Objective {
+    /// Dimension of the search space.
+    fn dim(&self) -> usize;
+
+    /// Evaluates `f(x)` and writes `∇f(x)` into `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `grad.len()` differ
+    /// from [`dim`](Objective::dim).
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Evaluates only `f(x)` (default: discards the gradient).
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut g = vec![0.0; self.dim()];
+        self.value_grad(x, &mut g)
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        (**self).value_grad(x, grad)
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: benchmark generation → SDP global
+//! floorplanning → legalization → HPWL, across crate boundaries.
+
+use gfp::core::diagnostics::check_distance_feasibility;
+use gfp::core::{FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner};
+use gfp::legalize::{legalize, LegalizeSettings};
+use gfp::netlist::{hpwl, suite};
+
+fn fast_settings() -> FloorplannerSettings {
+    let mut s = FloorplannerSettings::fast();
+    s.max_iter = 4;
+    s
+}
+
+#[test]
+fn sdp_to_legal_floorplan_on_n10() {
+    let bench = suite::gsrc_n10();
+    let (netlist, outline) = bench.with_pads_on_outline(1.0);
+    let problem = GlobalFloorplanProblem::from_netlist(
+        &netlist,
+        &ProblemOptions {
+            outline: Some(outline),
+            aspect_limit: 3.0,
+            ..ProblemOptions::default()
+        },
+    )
+    .expect("capture");
+    let fp = SdpFloorplanner::new(fast_settings())
+        .solve(&problem)
+        .expect("sdp");
+    let legal = legalize(
+        &netlist,
+        &problem,
+        &outline,
+        &fp.positions,
+        &LegalizeSettings::default(),
+    )
+    .expect("legalize");
+
+    // Physical invariants.
+    let total_area: f64 = legal.rects.iter().map(|r| r.area()).sum();
+    assert!(total_area >= problem.total_area() * 0.999);
+    for i in 0..legal.rects.len() {
+        for j in (i + 1)..legal.rects.len() {
+            assert!(
+                !legal.rects[i].overlaps_with_tol(&legal.rects[j], 1.0),
+                "overlap {i}-{j}"
+            );
+        }
+    }
+    // The legalized HPWL matches an independent evaluation.
+    let centers: Vec<(f64, f64)> = legal.rects.iter().map(|r| r.center()).collect();
+    let independent = hpwl::hpwl(&netlist, &centers);
+    assert!((independent - legal.hpwl).abs() < 1e-9 * independent);
+    // Sanity bound: HPWL within an order of magnitude of the outline scale.
+    assert!(legal.hpwl > outline.width);
+    assert!(legal.hpwl < 1e4 * outline.width);
+}
+
+#[test]
+fn global_floorplan_is_deterministic() {
+    let bench = suite::gsrc_n10();
+    let (netlist, outline) = bench.with_pads_on_outline(1.0);
+    let problem = GlobalFloorplanProblem::from_netlist(
+        &netlist,
+        &ProblemOptions {
+            outline: Some(outline),
+            aspect_limit: 3.0,
+            ..ProblemOptions::default()
+        },
+    )
+    .expect("capture");
+    let a = SdpFloorplanner::new(fast_settings()).solve(&problem).expect("a");
+    let b = SdpFloorplanner::new(fast_settings()).solve(&problem).expect("b");
+    for (pa, pb) in a.positions.iter().zip(b.positions.iter()) {
+        assert_eq!(pa, pb, "nondeterministic positions");
+    }
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn bookshelf_roundtrip_preserves_floorplanning_result() {
+    // Write the benchmark out, read it back, and check the captured
+    // problem is equivalent (same adjacency, areas, pads).
+    let bench = suite::gsrc_n30();
+    let files = gfp::netlist::bookshelf::write(&bench.netlist, 1.0 / 3.0, 3.0);
+    let parsed = gfp::netlist::bookshelf::parse(&files).expect("parse");
+    let p1 = GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+        .expect("p1");
+    let p2 = GlobalFloorplanProblem::from_netlist(&parsed, &ProblemOptions::default())
+        .expect("p2");
+    assert_eq!(p1.n, p2.n);
+    assert!((&p1.a - &p2.a).norm_max() < 1e-9);
+    for (a, b) in p1.areas.iter().zip(p2.areas.iter()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    for (a, b) in p1.pad_positions.iter().zip(p2.pad_positions.iter()) {
+        assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn no_outline_unconstrained_run_still_separates() {
+    let bench = suite::gsrc_n10();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("capture");
+    let fp = SdpFloorplanner::new(fast_settings())
+        .solve(&problem)
+        .expect("sdp");
+    let report = check_distance_feasibility(&problem, &fp.positions, 0.10);
+    assert!(
+        report.violations < report.pairs / 2,
+        "{report:?}: too collapsed"
+    );
+}

@@ -13,8 +13,7 @@
 use gfp_core::GlobalFloorplanProblem;
 use gfp_netlist::geometry::Rect;
 use gfp_netlist::{hpwl, Netlist, Outline};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gfp_rand::Rng;
 
 use crate::BaselineError;
 
@@ -175,7 +174,7 @@ impl Annealer {
             });
         }
         let st = &self.settings;
-        let mut rng = StdRng::seed_from_u64(st.seed);
+        let mut rng = Rng::seed_from_u64(st.seed);
         let k = problem.aspect_limit.max(1.01);
 
         // Discrete aspect ladder (w/h ratios), geometric in [1/k, k].
@@ -251,7 +250,7 @@ impl Annealer {
                 random_move(&mut trial, &mut tshape, choices, &mut rng);
                 let (c, _, _) = evaluate(&trial, &tshape);
                 let accept = c <= cost || {
-                    let u: f64 = rng.gen();
+                    let u: f64 = rng.gen_f64();
                     u < ((cost - c) / temperature).exp()
                 };
                 if accept {
@@ -290,7 +289,7 @@ impl Annealer {
     }
 }
 
-fn random_move(sp: &mut SequencePair, shape: &mut [usize], choices: usize, rng: &mut StdRng) {
+fn random_move(sp: &mut SequencePair, shape: &mut [usize], choices: usize, rng: &mut Rng) {
     let n = sp.pos.len();
     if n < 2 {
         if !shape.is_empty() {
@@ -338,9 +337,9 @@ mod tests {
     fn packing_never_overlaps() {
         // Property of the sequence-pair semantics, exercised over many
         // random pairs and shapes.
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         for _ in 0..50 {
-            let n = rng.gen_range(2..9);
+            let n = rng.gen_range(2..9usize);
             let mut sp = SequencePair::identity(n);
             for i in (1..n).rev() {
                 sp.pos.swap(i, rng.gen_range(0..=i));

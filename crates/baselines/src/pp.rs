@@ -13,8 +13,7 @@
 
 use gfp_core::GlobalFloorplanProblem;
 use gfp_optim::{Lbfgs, LbfgsSettings};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gfp_rand::Rng;
 
 use crate::ar::{PairModel, PairObjective};
 use crate::qp::QuadraticPlacer;
@@ -82,7 +81,7 @@ impl PpFloorplanner {
             ..LbfgsSettings::default()
         });
 
-        let mut rng = StdRng::seed_from_u64(self.settings.seed);
+        let mut rng = Rng::seed_from_u64(self.settings.seed);
         let (cx, cy) = match &problem.outline {
             Some(o) => o.center(),
             None => {

@@ -1,67 +1,75 @@
 //! Property-based tests for the baselines, centered on the
 //! sequence-pair invariants that make the annealer trustworthy.
+//! Driven by deterministic seeded loops over the workspace PRNG.
 
 use gfp_baselines::annealing::SequencePair;
-use proptest::prelude::*;
+use gfp_rand::Rng;
 
-fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
-    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+const CASES: u64 = 128;
+
+fn rand_vec(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The packing induced by any sequence pair has no overlaps and
-    /// nonnegative coordinates.
-    #[test]
-    fn sequence_pair_packing_is_always_legal(
-        pos in permutation(7),
-        neg in permutation(7),
-        sizes in proptest::collection::vec((0.5..8.0f64, 0.5..8.0f64), 7),
-    ) {
-        let sp = SequencePair { pos, neg };
-        let widths: Vec<f64> = sizes.iter().map(|s| s.0).collect();
-        let heights: Vec<f64> = sizes.iter().map(|s| s.1).collect();
+/// The packing induced by any sequence pair has no overlaps and
+/// nonnegative coordinates.
+#[test]
+fn sequence_pair_packing_is_always_legal() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let sp = SequencePair {
+            pos: rng.permutation(7),
+            neg: rng.permutation(7),
+        };
+        let widths = rand_vec(&mut rng, 7, 0.5, 8.0);
+        let heights = rand_vec(&mut rng, 7, 0.5, 8.0);
         let (rects, total_w, total_h) = sp.pack(&widths, &heights);
         for r in &rects {
-            prop_assert!(r.x >= 0.0 && r.y >= 0.0);
-            prop_assert!(r.x + r.w <= total_w + 1e-9);
-            prop_assert!(r.y + r.h <= total_h + 1e-9);
+            assert!(r.x >= 0.0 && r.y >= 0.0, "seed {seed}");
+            assert!(r.x + r.w <= total_w + 1e-9, "seed {seed}");
+            assert!(r.y + r.h <= total_h + 1e-9, "seed {seed}");
         }
         for i in 0..rects.len() {
             for j in (i + 1)..rects.len() {
-                prop_assert!(
+                assert!(
                     !rects[i].overlaps_with_tol(&rects[j], 1e-12),
-                    "{:?} overlaps {:?}",
+                    "seed {seed}: {:?} overlaps {:?}",
                     rects[i],
                     rects[j]
                 );
             }
         }
     }
+}
 
-    /// Packing area lower bound: the bounding box is at least the sum
-    /// of module areas.
-    #[test]
-    fn packing_bbox_bounds_total_area(
-        pos in permutation(6),
-        neg in permutation(6),
-        sides in proptest::collection::vec(1.0..5.0f64, 6),
-    ) {
-        let sp = SequencePair { pos, neg };
+/// Packing area lower bound: the bounding box is at least the sum
+/// of module areas.
+#[test]
+fn packing_bbox_bounds_total_area() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(1000 + seed);
+        let sp = SequencePair {
+            pos: rng.permutation(6),
+            neg: rng.permutation(6),
+        };
+        let sides = rand_vec(&mut rng, 6, 1.0, 5.0);
         let (_, w, h) = sp.pack(&sides, &sides);
         let total: f64 = sides.iter().map(|s| s * s).sum();
-        prop_assert!(w * h >= total - 1e-9);
+        assert!(w * h >= total - 1e-9, "seed {seed}");
     }
+}
 
-    /// The identity pair concatenates horizontally: width = Σ widths.
-    #[test]
-    fn identity_pair_row_width(widths in proptest::collection::vec(1.0..5.0f64, 1..8)) {
-        let n = widths.len();
+/// The identity pair concatenates horizontally: width = Σ widths.
+#[test]
+fn identity_pair_row_width() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(2000 + seed);
+        let n = rng.gen_range(1..8usize);
+        let widths = rand_vec(&mut rng, n, 1.0, 5.0);
         let sp = SequencePair::identity(n);
         let heights = vec![1.0; n];
         let (_, w, h) = sp.pack(&widths, &heights);
-        prop_assert!((w - widths.iter().sum::<f64>()).abs() < 1e-12);
-        prop_assert!((h - 1.0).abs() < 1e-12);
+        assert!((w - widths.iter().sum::<f64>()).abs() < 1e-12, "seed {seed}");
+        assert!((h - 1.0).abs() < 1e-12, "seed {seed}");
     }
 }

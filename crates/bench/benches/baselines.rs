@@ -1,12 +1,13 @@
-//! Criterion benchmarks for the baseline floorplanners — the
+//! Micro-benchmarks for the baseline floorplanners — the
 //! "Efficiency" row of Table I made measurable: QP fastest, AR/PP
 //! fast, annealing move throughput, analytical rounds.
+//! Runs on the std-only harness in `gfp_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gfp_baselines::annealing::SequencePair;
 use gfp_baselines::ar::ArFloorplanner;
 use gfp_baselines::pp::{PpFloorplanner, PpSettings};
 use gfp_baselines::qp::QuadraticPlacer;
+use gfp_bench::microbench::Group;
 use gfp_core::{GlobalFloorplanProblem, ProblemOptions};
 use gfp_netlist::suite;
 
@@ -15,50 +16,39 @@ fn problem(name: &str) -> GlobalFloorplanProblem {
     GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).expect("capture")
 }
 
-fn bench_qp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qp");
-    group.sample_size(20);
+fn bench_qp() {
+    let group = Group::new("qp");
     for name in ["n10", "n50", "n200"] {
         let p = problem(name);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
-            let placer = QuadraticPlacer::default();
-            b.iter(|| placer.place(p).expect("qp"))
-        });
+        let placer = QuadraticPlacer::default();
+        group.bench(name, 20, || placer.place(&p).expect("qp"));
     }
-    group.finish();
 }
 
-fn bench_ar_pp(c: &mut Criterion) {
+fn bench_ar_pp() {
     let p = problem("n30");
-    let mut group = c.benchmark_group("nonlinear_baselines");
-    group.sample_size(10);
-    group.bench_function("ar_n30", |b| {
-        let f = ArFloorplanner::default();
-        b.iter(|| f.place(&p).expect("ar"))
+    let group = Group::new("nonlinear_baselines");
+    let ar = ArFloorplanner::default();
+    group.bench("ar_n30", 10, || ar.place(&p).expect("ar"));
+    let pp = PpFloorplanner::new(PpSettings {
+        restarts: 0,
+        ..PpSettings::default()
     });
-    group.bench_function("pp_n30_single_start", |b| {
-        let f = PpFloorplanner::new(PpSettings {
-            restarts: 0,
-            ..PpSettings::default()
-        });
-        b.iter(|| f.place(&p).expect("pp"))
-    });
-    group.finish();
+    group.bench("pp_n30_single_start", 10, || pp.place(&p).expect("pp"));
 }
 
-fn bench_sequence_pair_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sequence_pair_pack");
-    group.sample_size(20);
+fn bench_sequence_pair_packing() {
+    let group = Group::new("sequence_pair_pack");
     for n in [33usize, 100, 200] {
         let sp = SequencePair::identity(n);
         let widths: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
         let heights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sp, |b, sp| {
-            b.iter(|| sp.pack(&widths, &heights))
-        });
+        group.bench(&n.to_string(), 20, || sp.pack(&widths, &heights));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_qp, bench_ar_pp, bench_sequence_pair_packing);
-criterion_main!(benches);
+fn main() {
+    bench_qp();
+    bench_ar_pp();
+    bench_sequence_pair_packing();
+}

@@ -1,26 +1,22 @@
-//! Criterion benchmarks for the conic solver backends: ADMM vs the
+//! Micro-benchmarks for the conic solver backends: ADMM vs the
 //! dense barrier IPM on identical SDPs (the backend ablation of
 //! DESIGN.md), plus the PSD cone projection in isolation.
+//! Runs on the std-only harness in `gfp_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_bench::microbench::Group;
 use gfp_conic::ipm::{BarrierSdp, BarrierSettings, SdpProblem};
 use gfp_conic::{AdmmSettings, AdmmSolver, Cone, ConeProgramBuilder};
 use gfp_linalg::svec::{svec, svec_index, svec_len};
 use gfp_linalg::Mat;
+use gfp_rand::Rng;
 
 /// The correlation-matrix SDP: min <C, Z> s.t. diag Z = 1, Z ⪰ 0.
 fn correlation_instances(n: usize) -> (SdpProblem, gfp_conic::ConeProgram) {
-    let mut state = 0xC0FFEEu64 | 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-    };
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
     let mut c_mat = Mat::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
-            let v = next();
+            let v = rng.gen_range(-1.0..1.0);
             c_mat[(i, j)] = v;
             c_mat[(j, i)] = v;
         }
@@ -42,43 +38,41 @@ fn correlation_instances(n: usize) -> (SdpProblem, gfp_conic::ConeProgram) {
     (ipm, admm.build().expect("program"))
 }
 
-fn bench_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sdp_backend");
-    group.sample_size(10);
+fn bench_backends() {
+    let group = Group::new("sdp_backend");
     for n in [8usize, 16] {
         let (ipm_prob, admm_prob) = correlation_instances(n);
-        group.bench_with_input(BenchmarkId::new("admm", n), &admm_prob, |b, p| {
-            let solver = AdmmSolver::new(AdmmSettings {
-                eps: 1e-6,
-                ..AdmmSettings::default()
-            });
-            b.iter(|| solver.solve(p).expect("solve"))
+        let admm = AdmmSolver::new(AdmmSettings {
+            eps: 1e-6,
+            ..AdmmSettings::default()
+        });
+        group.bench(&format!("admm/{n}"), 10, || {
+            admm.solve(&admm_prob).expect("solve")
         });
         let x0 = svec(&Mat::identity(n));
-        group.bench_with_input(BenchmarkId::new("ipm", n), &ipm_prob, |b, p| {
-            let solver = BarrierSdp::new(BarrierSettings::default());
-            b.iter(|| solver.solve_from(p, &x0).expect("solve"))
+        let ipm = BarrierSdp::new(BarrierSettings::default());
+        group.bench(&format!("ipm/{n}"), 10, || {
+            ipm.solve_from(&ipm_prob, &x0).expect("solve")
         });
     }
-    group.finish();
 }
 
-fn bench_psd_projection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("psd_projection");
-    group.sample_size(20);
+fn bench_psd_projection() {
+    let group = Group::new("psd_projection");
     for n in [32usize, 102, 202] {
         let dim = svec_len(n);
-        let v: Vec<f64> = (0..dim).map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
-            b.iter(|| {
-                let mut w = v.clone();
-                Cone::Psd(n).project(&mut w);
-                w
-            })
+        let v: Vec<f64> = (0..dim)
+            .map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0)
+            .collect();
+        group.bench(&n.to_string(), 20, || {
+            let mut w = v.clone();
+            Cone::Psd(n).project(&mut w);
+            w
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_psd_projection);
-criterion_main!(benches);
+fn main() {
+    bench_backends();
+    bench_psd_projection();
+}

@@ -1,8 +1,9 @@
-//! Criterion benchmarks for the paper's core pipeline pieces:
+//! Micro-benchmarks for the paper's core pipeline pieces:
 //! sub-problem 1 solve time vs n (the kernel behind Fig. 5(b)),
 //! closed-form sub-problem 2, and one full convex iteration.
+//! Runs on the std-only harness in `gfp_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_bench::microbench::Group;
 use gfp_conic::AdmmSettings;
 use gfp_core::lifted::{objective_matrix, Lift};
 use gfp_core::subproblems::{solve_subproblem1, solve_subproblem2, Sp1Backend};
@@ -18,9 +19,8 @@ fn problem(name: &str) -> GlobalFloorplanProblem {
         .normalized()
 }
 
-fn bench_subproblem1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subproblem1_admm");
-    group.sample_size(10);
+fn bench_subproblem1() {
+    let group = Group::new("subproblem1_admm");
     for name in ["n10", "n30"] {
         let p = problem(name);
         let obj = objective_matrix(&p, &p.a, None);
@@ -29,30 +29,25 @@ fn bench_subproblem1(c: &mut Criterion) {
             max_iter: 4000,
             ..AdmmSettings::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
-            b.iter(|| solve_subproblem1(p, &p.a, &obj, &backend, None).expect("sp1"))
+        group.bench(name, 10, || {
+            solve_subproblem1(&p, &p.a, &obj, &backend, None).expect("sp1")
         });
     }
-    group.finish();
 }
 
-fn bench_subproblem2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subproblem2_closed_form");
-    group.sample_size(20);
+fn bench_subproblem2() {
+    let group = Group::new("subproblem2_closed_form");
     for n in [10usize, 50, 100, 200] {
         let lift = Lift::new(n);
         let positions: Vec<(f64, f64)> = (0..n)
             .map(|i| ((i % 14) as f64, (i / 14) as f64))
             .collect();
         let z = lift.z_matrix(&lift.embed_positions(&positions, 0.3));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &z, |b, z| {
-            b.iter(|| solve_subproblem2(z, n).expect("sp2"))
-        });
+        group.bench(&n.to_string(), 20, || solve_subproblem2(&z, n).expect("sp2"));
     }
-    group.finish();
 }
 
-fn bench_full_iteration(c: &mut Criterion) {
+fn bench_full_iteration() {
     let p = problem("n10");
     let mut settings = FloorplannerSettings::fast();
     settings.max_alpha_rounds = 1;
@@ -63,14 +58,13 @@ fn bench_full_iteration(c: &mut Criterion) {
         max_iter: 2000,
         ..AdmmSettings::default()
     });
-    let mut group = c.benchmark_group("convex_iteration");
-    group.sample_size(10);
-    group.bench_function("one_iteration_n10", |b| {
-        let solver = SdpFloorplanner::new(settings.clone());
-        b.iter(|| solver.solve(&p).expect("solve"))
-    });
-    group.finish();
+    let group = Group::new("convex_iteration");
+    let solver = SdpFloorplanner::new(settings);
+    group.bench("one_iteration_n10", 10, || solver.solve(&p).expect("solve"));
 }
 
-criterion_group!(benches, bench_subproblem1, bench_subproblem2, bench_full_iteration);
-criterion_main!(benches);
+fn main() {
+    bench_subproblem1();
+    bench_subproblem2();
+    bench_full_iteration();
+}

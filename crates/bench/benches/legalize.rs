@@ -1,7 +1,8 @@
-//! Criterion benchmarks for legalization: constraint-graph
+//! Micro-benchmarks for legalization: constraint-graph
 //! construction/repair and the full SOCP shape optimization.
+//! Runs on the std-only harness in `gfp_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_bench::microbench::Group;
 use gfp_bench::{Budget, Pipeline};
 use gfp_legalize::constraint_graph::ConstraintGraph;
 use gfp_legalize::{legalize, LegalizeSettings};
@@ -19,9 +20,8 @@ fn grid(n: usize, w: f64, h: f64) -> Vec<(f64, f64)> {
         .collect()
 }
 
-fn bench_constraint_graph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("constraint_graph");
-    group.sample_size(20);
+fn bench_constraint_graph() {
+    let group = Group::new("constraint_graph");
     for name in ["n50", "n200"] {
         let pipeline = Pipeline::new(&suite::by_name(name), 1.0, Budget::Quick);
         let centers = grid(
@@ -29,36 +29,29 @@ fn bench_constraint_graph(c: &mut Criterion) {
             pipeline.outline.width,
             pipeline.outline.height,
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &centers,
-            |b, centers| {
-                b.iter(|| ConstraintGraph::from_positions(centers, &pipeline.outline))
-            },
-        );
+        group.bench(name, 20, || {
+            ConstraintGraph::from_positions(&centers, &pipeline.outline)
+        });
     }
-    group.finish();
 }
 
-fn bench_legalize_socp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("legalize_socp");
-    group.sample_size(10);
+fn bench_legalize_socp() {
+    let group = Group::new("legalize_socp");
     let pipeline = Pipeline::new(&suite::gsrc_n10(), 1.0, Budget::Quick);
     let centers = grid(10, pipeline.outline.width, pipeline.outline.height);
-    group.bench_function("n10_grid", |b| {
-        b.iter(|| {
-            legalize(
-                &pipeline.netlist,
-                &pipeline.problem,
-                &pipeline.outline,
-                &centers,
-                &LegalizeSettings::default(),
-            )
-            .expect("legalizes")
-        })
+    group.bench("n10_grid", 10, || {
+        legalize(
+            &pipeline.netlist,
+            &pipeline.problem,
+            &pipeline.outline,
+            &centers,
+            &LegalizeSettings::default(),
+        )
+        .expect("legalizes")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_constraint_graph, bench_legalize_socp);
-criterion_main!(benches);
+fn main() {
+    bench_constraint_graph();
+    bench_legalize_socp();
+}

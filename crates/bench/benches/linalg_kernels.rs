@@ -1,24 +1,20 @@
-//! Criterion benchmarks for the linear-algebra kernels that dominate
+//! Micro-benchmarks for the linear-algebra kernels that dominate
 //! the floorplanner: symmetric eigendecomposition (sub-problem 2 and
 //! every ADMM PSD projection), `svec` round trips and HPWL evaluation.
+//! Runs on the std-only harness in `gfp_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfp_bench::microbench::Group;
 use gfp_linalg::svec::{smat, svec};
 use gfp_linalg::{eigh, Mat};
 use gfp_netlist::{hpwl, suite};
+use gfp_rand::Rng;
 
 fn random_sym(n: usize, seed: u64) -> Mat {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-    };
+    let mut rng = Rng::seed_from_u64(seed);
     let mut a = Mat::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
-            let v = next();
+            let v = rng.gen_range(-1.0..1.0);
             a[(i, j)] = v;
             a[(j, i)] = v;
         }
@@ -26,37 +22,34 @@ fn random_sym(n: usize, seed: u64) -> Mat {
     a
 }
 
-fn bench_eigh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eigh");
-    group.sample_size(10);
+fn bench_eigh() {
+    let group = Group::new("eigh");
     for n in [12usize, 32, 52, 102] {
         let a = random_sym(n, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
-            b.iter(|| eigh(a).expect("eigh"))
-        });
+        group.bench(&n.to_string(), 10, || eigh(&a).expect("eigh"));
     }
-    group.finish();
 }
 
-fn bench_svec(c: &mut Criterion) {
+fn bench_svec() {
+    let group = Group::new("svec");
     let a = random_sym(102, 7);
-    c.bench_function("svec_roundtrip_102", |b| {
-        b.iter(|| {
-            let v = svec(&a);
-            smat(&v)
-        })
+    group.bench("roundtrip_102", 20, || {
+        let v = svec(&a);
+        smat(&v)
     });
 }
 
-fn bench_hpwl(c: &mut Criterion) {
+fn bench_hpwl() {
+    let group = Group::new("hpwl");
     let bench = suite::gsrc_n200();
     let positions: Vec<(f64, f64)> = (0..200)
         .map(|i| ((i % 20) as f64 * 10.0, (i / 20) as f64 * 10.0))
         .collect();
-    c.bench_function("hpwl_n200", |b| {
-        b.iter(|| hpwl::hpwl(&bench.netlist, &positions))
-    });
+    group.bench("n200", 20, || hpwl::hpwl(&bench.netlist, &positions));
 }
 
-criterion_group!(benches, bench_eigh, bench_svec, bench_hpwl);
-criterion_main!(benches);
+fn main() {
+    bench_eigh();
+    bench_svec();
+    bench_hpwl();
+}

@@ -2,7 +2,11 @@
 //! stacks (basic / +non-square / +Manhattan / +hyper-edge), with
 //! legalization failures shown as the paper's missing points.
 //!
-//! Usage: `cargo run --release -p gfp-bench --bin fig4 [-- --quick|--full]`
+//! Usage: `cargo run --release -p gfp-bench --bin fig4 [-- --quick|--full] [-- --trace]`
+//!
+//! With `--trace` (or `GFP_TRACE=file.jsonl`) the run prints an
+//! end-of-run telemetry summary; `GFP_TRACE` additionally streams
+//! per-iteration solver events to the named JSONL file.
 
 use gfp_bench::table::fmt_hpwl;
 use gfp_bench::{Budget, Pipeline, Table};
@@ -27,6 +31,7 @@ fn stacks() -> Vec<(&'static str, Enhancements, f64)> {
 }
 
 fn main() {
+    let tracing = gfp_bench::trace::init_from_args();
     let budget = Budget::from_args();
     let benches = match budget {
         Budget::Quick => vec!["n10"],
@@ -71,4 +76,5 @@ fn main() {
         Ok(p) => println!("csv: {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    gfp_bench::trace::finish(tracing);
 }

@@ -22,7 +22,7 @@ fn main() {
     let style = svg::SvgStyle::default();
     let pads: Vec<(f64, f64)> = pipeline.netlist.pads().iter().map(|p| (p.x, p.y)).collect();
 
-    let mut save_legal = |label: &str, centers: &[(f64, f64)]| {
+    let save_legal = |label: &str, centers: &[(f64, f64)]| {
         // Global floorplan (circles).
         let radii: Vec<f64> = pipeline
             .problem

@@ -8,15 +8,18 @@
 //! * Ours: spread, rank-certified layout with the distance (area)
 //!   constraints satisfied — controllable area constraint.
 //!
-//! Usage: `cargo run --release -p gfp-bench --bin table1 [-- --quick]`
+//! Usage: `cargo run --release -p gfp-bench --bin table1 [-- --quick] [-- --trace]`
+//!
+//! With `--trace` (or `GFP_TRACE=file.jsonl`) the run prints an
+//! end-of-run telemetry summary; `GFP_TRACE` additionally streams
+//! per-iteration solver events to the named JSONL file.
 
 use gfp_baselines::qp::QuadraticPlacer;
 use gfp_bench::{Budget, Pipeline, Table};
 use gfp_core::diagnostics::check_distance_feasibility;
 use gfp_core::{GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner};
 use gfp_netlist::suite;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gfp_rand::Rng;
 
 /// Full two-branch AR objective (paper Eq. 3), σ = 1.
 fn ar_full_objective(problem: &GlobalFloorplanProblem, positions: &[(f64, f64)]) -> f64 {
@@ -72,6 +75,7 @@ fn pp_objective(problem: &GlobalFloorplanProblem, positions: &[(f64, f64)]) -> f
 }
 
 fn main() {
+    let tracing = gfp_bench::trace::init_from_args();
     let budget = Budget::from_args();
     let bench = suite::gsrc_n10();
     let pipeline = Pipeline::new(&bench, 1.0, budget);
@@ -98,7 +102,7 @@ fn main() {
     let ar_spread = ar_full_objective(problem, &spread_layout);
 
     // --- PP non-convexity ---------------------------------------------------
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let scale = problem.length_scale();
     let mut violation: Option<f64> = None;
     for _ in 0..500 {
@@ -181,6 +185,7 @@ fn main() {
     );
     assert!(violation.is_some(), "PP should exhibit non-convexity");
     assert!(our_spread > 1.0, "ours should not collapse");
+    gfp_bench::trace::finish(tracing);
 }
 
 fn layout_spread(positions: &[(f64, f64)]) -> f64 {

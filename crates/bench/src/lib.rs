@@ -16,8 +16,10 @@
 //! and writes CSV next to its stdout table under `results/`.
 
 pub mod budget;
+pub mod microbench;
 pub mod runner;
 pub mod table;
+pub mod trace;
 
 pub use budget::Budget;
 pub use runner::{delta_percent, MethodResult, Pipeline};

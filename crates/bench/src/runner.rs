@@ -15,6 +15,7 @@ use gfp_core::{
 use gfp_legalize::{legalize, LegalizeSettings};
 use gfp_netlist::suite::Benchmark;
 use gfp_netlist::{Netlist, Outline};
+use gfp_telemetry as telemetry;
 
 use crate::Budget;
 
@@ -30,6 +31,9 @@ pub struct MethodResult {
     pub global_seconds: f64,
     /// Legalization wall-clock seconds.
     pub legal_seconds: f64,
+    /// Named wall-clock phases in execution order (currently
+    /// `global` and, when a separate legalization ran, `legalize`).
+    pub phases: Vec<(String, f64)>,
     /// Failure detail when `hpwl` is `None`.
     pub failure: Option<String>,
 }
@@ -41,8 +45,39 @@ impl MethodResult {
             hpwl: None,
             global_seconds,
             legal_seconds: 0.0,
+            phases: vec![("global".to_string(), global_seconds)],
             failure: Some(reason),
         }
+    }
+
+    /// Total wall-clock seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// `phase=secs` pairs joined with `, ` — for log lines.
+    pub fn phase_breakdown(&self) -> String {
+        self.phases
+            .iter()
+            .map(|(name, s)| format!("{name}={s:.2}s"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Emits the end-of-method telemetry event for one pipeline result.
+fn method_event(result: &MethodResult) {
+    if telemetry::enabled() {
+        telemetry::event(
+            "pipeline.method",
+            &[
+                ("method", telemetry::Value::Text(result.method.clone())),
+                ("hpwl", result.hpwl.unwrap_or(f64::NAN).into()),
+                ("global_seconds", result.global_seconds.into()),
+                ("legal_seconds", result.legal_seconds.into()),
+                ("failed", result.failure.is_some().into()),
+            ],
+        );
     }
 }
 
@@ -90,28 +125,41 @@ impl Pipeline {
 
     fn legalize_centers(&self, method: &str, centers: &[(f64, f64)], t_global: f64) -> MethodResult {
         let t0 = Instant::now();
-        match legalize(
-            &self.netlist,
-            &self.problem,
-            &self.outline,
-            centers,
-            &LegalizeSettings::default(),
-        ) {
+        let outcome = {
+            let _span = telemetry::span("pipeline.legalize");
+            legalize(
+                &self.netlist,
+                &self.problem,
+                &self.outline,
+                centers,
+                &LegalizeSettings::default(),
+            )
+        };
+        let legal_seconds = t0.elapsed().as_secs_f64();
+        let phases = vec![
+            ("global".to_string(), t_global),
+            ("legalize".to_string(), legal_seconds),
+        ];
+        let result = match outcome {
             Ok(legal) => MethodResult {
                 method: method.to_string(),
                 hpwl: Some(legal.hpwl),
                 global_seconds: t_global,
-                legal_seconds: t0.elapsed().as_secs_f64(),
+                legal_seconds,
+                phases,
                 failure: None,
             },
             Err(e) => MethodResult {
                 method: method.to_string(),
                 hpwl: None,
                 global_seconds: t_global,
-                legal_seconds: t0.elapsed().as_secs_f64(),
+                legal_seconds,
+                phases,
                 failure: Some(e.to_string()),
             },
-        }
+        };
+        method_event(&result);
+        result
     }
 
     /// Ours: the SDP convex-iteration floorplanner with the given
@@ -119,12 +167,20 @@ impl Pipeline {
     /// budget default), then the shared legalizer.
     pub fn run_sdp_with(&self, settings: FloorplannerSettings) -> MethodResult {
         let t0 = Instant::now();
-        match SdpFloorplanner::new(settings).solve(&self.problem) {
+        let solved = {
+            let _span = telemetry::span("pipeline.global");
+            SdpFloorplanner::new(settings).solve(&self.problem)
+        };
+        match solved {
             Ok(fp) => {
                 let t = t0.elapsed().as_secs_f64();
                 self.legalize_centers("ours", &fp.positions, t)
             }
-            Err(e) => MethodResult::failed("ours", t0.elapsed().as_secs_f64(), e.to_string()),
+            Err(e) => {
+                let r = MethodResult::failed("ours", t0.elapsed().as_secs_f64(), e.to_string());
+                method_event(&r);
+                r
+            }
         }
     }
 
@@ -162,47 +218,41 @@ impl Pipeline {
             settings.max_iter = settings.max_iter.max(8);
         }
         let t0 = Instant::now();
-        match SdpFloorplanner::new(settings).solve(&problem) {
+        let solved = {
+            let _span = telemetry::span("pipeline.global");
+            SdpFloorplanner::new(settings).solve(&problem)
+        };
+        match solved {
             Ok(fp) => {
                 let t = t0.elapsed().as_secs_f64();
                 // Legalize against the variant problem (its aspect limit).
-                let t1 = Instant::now();
-                match legalize(
-                    &self.netlist,
-                    &self.problem,
-                    &self.outline,
-                    &fp.positions,
-                    &LegalizeSettings::default(),
-                ) {
-                    Ok(legal) => MethodResult {
-                        method: "ours".into(),
-                        hpwl: Some(legal.hpwl),
-                        global_seconds: t,
-                        legal_seconds: t1.elapsed().as_secs_f64(),
-                        failure: None,
-                    },
-                    Err(e) => MethodResult {
-                        method: "ours".into(),
-                        hpwl: None,
-                        global_seconds: t,
-                        legal_seconds: t1.elapsed().as_secs_f64(),
-                        failure: Some(e.to_string()),
-                    },
-                }
+                self.legalize_centers("ours", &fp.positions, t)
             }
-            Err(e) => MethodResult::failed("ours", t0.elapsed().as_secs_f64(), e.to_string()),
+            Err(e) => {
+                let r = MethodResult::failed("ours", t0.elapsed().as_secs_f64(), e.to_string());
+                method_event(&r);
+                r
+            }
         }
     }
 
     /// The AR baseline → shared legalizer.
     pub fn run_ar(&self) -> MethodResult {
         let t0 = Instant::now();
-        match ArFloorplanner::default().place(&self.problem) {
+        let placed = {
+            let _span = telemetry::span("pipeline.global");
+            ArFloorplanner::default().place(&self.problem)
+        };
+        match placed {
             Ok(pl) => {
                 let t = t0.elapsed().as_secs_f64();
                 self.legalize_centers("ar", &pl.positions, t)
             }
-            Err(e) => MethodResult::failed("ar", t0.elapsed().as_secs_f64(), e.to_string()),
+            Err(e) => {
+                let r = MethodResult::failed("ar", t0.elapsed().as_secs_f64(), e.to_string());
+                method_event(&r);
+                r
+            }
         }
     }
 
@@ -213,24 +263,40 @@ impl Pipeline {
             restarts: if self.budget == Budget::Quick { 1 } else { 3 },
             ..PpSettings::default()
         };
-        match PpFloorplanner::new(settings).place(&self.problem) {
+        let placed = {
+            let _span = telemetry::span("pipeline.global");
+            PpFloorplanner::new(settings).place(&self.problem)
+        };
+        match placed {
             Ok(pl) => {
                 let t = t0.elapsed().as_secs_f64();
                 self.legalize_centers("pp", &pl.positions, t)
             }
-            Err(e) => MethodResult::failed("pp", t0.elapsed().as_secs_f64(), e.to_string()),
+            Err(e) => {
+                let r = MethodResult::failed("pp", t0.elapsed().as_secs_f64(), e.to_string());
+                method_event(&r);
+                r
+            }
         }
     }
 
     /// The QP baseline → shared legalizer.
     pub fn run_qp(&self) -> MethodResult {
         let t0 = Instant::now();
-        match QuadraticPlacer::default().place(&self.problem) {
+        let placed = {
+            let _span = telemetry::span("pipeline.global");
+            QuadraticPlacer::default().place(&self.problem)
+        };
+        match placed {
             Ok(pl) => {
                 let t = t0.elapsed().as_secs_f64();
                 self.legalize_centers("qp", &pl.positions, t)
             }
-            Err(e) => MethodResult::failed("qp", t0.elapsed().as_secs_f64(), e.to_string()),
+            Err(e) => {
+                let r = MethodResult::failed("qp", t0.elapsed().as_secs_f64(), e.to_string());
+                method_event(&r);
+                r
+            }
         }
     }
 
@@ -240,35 +306,54 @@ impl Pipeline {
     pub fn run_annealing(&self) -> MethodResult {
         let t0 = Instant::now();
         let settings = self.budget.anneal_settings(self.problem.n);
-        match Annealer::new(settings).place(&self.netlist, &self.problem, &self.outline) {
-            Ok(fp) => MethodResult {
-                method: "parquet-sa".into(),
-                hpwl: if fp.fits { Some(fp.hpwl) } else { None },
-                global_seconds: t0.elapsed().as_secs_f64(),
-                legal_seconds: 0.0,
-                failure: if fp.fits {
-                    None
-                } else {
-                    Some("packing exceeds outline".into())
-                },
-            },
+        let placed = {
+            let _span = telemetry::span("pipeline.global");
+            Annealer::new(settings).place(&self.netlist, &self.problem, &self.outline)
+        };
+        let result = match placed {
+            Ok(fp) => {
+                let t = t0.elapsed().as_secs_f64();
+                MethodResult {
+                    method: "parquet-sa".into(),
+                    hpwl: if fp.fits { Some(fp.hpwl) } else { None },
+                    global_seconds: t,
+                    legal_seconds: 0.0,
+                    phases: vec![("global".to_string(), t)],
+                    failure: if fp.fits {
+                        None
+                    } else {
+                        Some("packing exceeds outline".into())
+                    },
+                }
+            }
             Err(e) => {
                 MethodResult::failed("parquet-sa", t0.elapsed().as_secs_f64(), e.to_string())
             }
-        }
+        };
+        method_event(&result);
+        result
     }
 
     /// The analytical baseline → shared legalizer.
     pub fn run_analytical(&self) -> MethodResult {
         let t0 = Instant::now();
-        match AnalyticalFloorplanner::default().place(&self.netlist, &self.problem, &self.outline)
-        {
+        let placed = {
+            let _span = telemetry::span("pipeline.global");
+            AnalyticalFloorplanner::default().place(&self.netlist, &self.problem, &self.outline)
+        };
+        match placed {
             Ok(pl) => {
                 let t = t0.elapsed().as_secs_f64();
                 self.legalize_centers("analytical", &pl.positions, t)
             }
             Err(e) => {
-                MethodResult::failed("analytical", t0.elapsed().as_secs_f64(), e.to_string())
+                let r = MethodResult::failed(
+                    "analytical",
+                    t0.elapsed().as_secs_f64(),
+                    e.to_string(),
+                );
+                method_event(&r);
+                r
             }
         }
     }

@@ -1,0 +1,32 @@
+//! `--trace` bootstrap shared by the experiment binaries.
+//!
+//! Every binary calls [`init_from_args`] first thing in `main` and
+//! [`finish`] on the way out. Tracing turns on when `--trace` is
+//! passed on the command line or `GFP_TRACE` names a trace file; with
+//! `GFP_TRACE` set, solver events additionally stream to that path as
+//! JSONL (one object per line).
+
+use gfp_telemetry as telemetry;
+
+/// Enables telemetry when `--trace` is on the command line or the
+/// `GFP_TRACE` environment variable names a trace file. Returns
+/// whether telemetry was enabled (pass it to [`finish`]).
+pub fn init_from_args() -> bool {
+    let flagged = std::env::args().any(|a| a == "--trace");
+    let env_set = std::env::var_os("GFP_TRACE").is_some_and(|v| !v.is_empty());
+    if flagged || env_set {
+        telemetry::init_from_env();
+        true
+    } else {
+        false
+    }
+}
+
+/// Prints the end-of-run span-tree summary and flushes the trace
+/// sink. No-op when `enabled` is false.
+pub fn finish(enabled: bool) {
+    if enabled {
+        println!("\n{}", telemetry::summary_report());
+        telemetry::flush();
+    }
+}

@@ -11,6 +11,7 @@ use std::time::Instant;
 use gfp_linalg::cg::{cg_best_effort, LinOp};
 use gfp_linalg::sparse::CsrMat;
 use gfp_linalg::vec_ops::{dot, norm2};
+use gfp_telemetry as telemetry;
 
 use crate::cone::project_product;
 use crate::scaling::{equilibrate, Equilibration};
@@ -139,6 +140,7 @@ impl AdmmSolver {
         warm: Option<&[f64]>,
     ) -> Result<(Solution, Vec<IterationStats>), ConicError> {
         program.validate()?;
+        let _span = telemetry::span("admm.solve");
         let t0 = Instant::now();
         let st = &self.settings;
         let m = program.num_rows();
@@ -283,6 +285,23 @@ impl AdmmSolver {
                     dual_residual: dua_rel,
                 });
 
+                // Sampled residual events: every 4th check keeps the
+                // JSONL volume proportional to, not equal to, the
+                // check cadence.
+                if telemetry::enabled() && (trace.len() - 1) % 4 == 0 {
+                    telemetry::event(
+                        "admm.residuals",
+                        &[
+                            ("iteration", iter.into()),
+                            ("objective", cx.into()),
+                            ("primal_residual", pri_rel.into()),
+                            ("dual_residual", dua_rel.into()),
+                            ("gap", gap_rel.into()),
+                            ("rho", rho.into()),
+                        ],
+                    );
+                }
+
                 if pri_rel < st.eps && dua_rel < st.eps && gap_rel < st.eps {
                     status = SolveStatus::Optimal;
                     iterations_used = iter;
@@ -333,6 +352,22 @@ impl AdmmSolver {
             *v /= sc;
         }
         let objective = dot(&program.c, &x);
+
+        if telemetry::enabled() {
+            telemetry::event(
+                "admm.done",
+                &[
+                    ("status", format!("{status:?}").into()),
+                    ("iterations", iterations_used.into()),
+                    ("primal_residual", pri_rel.into()),
+                    ("dual_residual", dua_rel.into()),
+                    ("gap", gap_rel.into()),
+                    ("objective", objective.into()),
+                    ("seconds", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+            telemetry::counter_add("admm.iterations", iterations_used as u64);
+        }
 
         Ok((
             Solution {

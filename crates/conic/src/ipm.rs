@@ -20,6 +20,7 @@
 
 use gfp_linalg::svec::{smat, svec_dim, svec_index, SQRT2};
 use gfp_linalg::{Cholesky, Ldlt, Mat};
+use gfp_telemetry as telemetry;
 
 use crate::ConicError;
 
@@ -158,23 +159,50 @@ impl BarrierSdp {
         if !is_strictly_feasible(problem, x0) {
             return Err(ConicError::NoInterior { phase: "solve_from" });
         }
+        let _span = telemetry::span("ipm.solve");
+        let t_start = std::time::Instant::now();
         let mut x = x0.to_vec();
         let mut t = self.settings.t_init;
         let m_barrier = problem.n as f64 + problem.ineq.len() as f64;
         let mut total_newton = 0usize;
+        let mut centerings = 0usize;
         loop {
-            total_newton += self.center(problem, &mut x, t)?;
+            let newton = self.center(problem, &mut x, t)?;
+            total_newton += newton;
+            centerings += 1;
+            if telemetry::enabled() {
+                telemetry::event(
+                    "ipm.center",
+                    &[
+                        ("t", t.into()),
+                        ("newton_iterations", newton.into()),
+                        ("gap_bound", (m_barrier / t).into()),
+                    ],
+                );
+            }
             if m_barrier / t < self.settings.eps {
                 break;
             }
             t *= self.settings.mu;
         }
-        let objective = problem
+        let objective: f64 = problem
             .c
             .iter()
             .zip(x.iter())
             .map(|(ci, xi)| ci * xi)
             .sum();
+        if telemetry::enabled() {
+            telemetry::event(
+                "ipm.done",
+                &[
+                    ("centerings", centerings.into()),
+                    ("newton_iterations", total_newton.into()),
+                    ("objective", objective.into()),
+                    ("seconds", t_start.elapsed().as_secs_f64().into()),
+                ],
+            );
+            telemetry::counter_add("ipm.newton_iterations", total_newton as u64);
+        }
         Ok(BarrierSolution {
             x,
             objective,

@@ -5,13 +5,12 @@ use gfp_conic::ipm::{BarrierSdp, BarrierSettings, SdpProblem};
 use gfp_conic::{AdmmSettings, AdmmSolver, ConeProgramBuilder};
 use gfp_linalg::svec::{svec, svec_index, svec_len, SQRT2};
 use gfp_linalg::Mat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gfp_rand::Rng;
 
 /// Builds the same random SDP for both backends:
 ///   min <C, Z>  s.t.  diag(Z) = 1,  Z_kk' >= l (a few pairs),  Z ⪰ 0
 fn random_instance(n: usize, seed: u64) -> (SdpProblem, gfp_conic::ConeProgram) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let d = svec_len(n);
     let mut c_mat = Mat::zeros(n, n);
     for i in 0..n {

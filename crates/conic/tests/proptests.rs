@@ -1,70 +1,91 @@
-//! Property-based tests for cone projections and the ADMM solver.
+//! Property-based tests for cone projections and the ADMM solver,
+//! driven by deterministic seeded loops over the workspace PRNG.
 
 use gfp_conic::{AdmmSettings, AdmmSolver, Cone, ConeProgramBuilder};
 use gfp_linalg::vec_ops::dist2;
-use proptest::prelude::*;
+use gfp_rand::Rng;
 
-fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-10.0..10.0f64, n)
+const CASES: u64 = 64;
+
+fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Projections are idempotent for every cone type.
-    #[test]
-    fn projections_idempotent(v in vec_strategy(6)) {
+/// Projections are idempotent for every cone type.
+#[test]
+fn projections_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let v = rand_vec(&mut rng, 6);
         for cone in [Cone::Zero(6), Cone::NonNeg(6), Cone::Soc(6), Cone::Psd(3)] {
             let mut once = v.clone();
             cone.project(&mut once);
             let mut twice = once.clone();
             cone.project(&mut twice);
             for (a, b) in once.iter().zip(twice.iter()) {
-                prop_assert!((a - b).abs() < 1e-9, "{cone:?}");
+                assert!((a - b).abs() < 1e-9, "seed {seed}: {cone:?}");
             }
-            prop_assert!(cone.contains(&once, 1e-7), "{cone:?} projection not a member");
+            assert!(
+                cone.contains(&once, 1e-7),
+                "seed {seed}: {cone:?} projection not a member"
+            );
         }
     }
+}
 
-    /// Projections are non-expansive: ‖P(u) − P(v)‖ ≤ ‖u − v‖.
-    #[test]
-    fn projections_nonexpansive(u in vec_strategy(6), v in vec_strategy(6)) {
+/// Projections are non-expansive: ‖P(u) − P(v)‖ ≤ ‖u − v‖.
+#[test]
+fn projections_nonexpansive() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let u = rand_vec(&mut rng, 6);
+        let v = rand_vec(&mut rng, 6);
         for cone in [Cone::NonNeg(6), Cone::Soc(6), Cone::Psd(3)] {
             let mut pu = u.clone();
             let mut pv = v.clone();
             cone.project(&mut pu);
             cone.project(&mut pv);
-            prop_assert!(
+            assert!(
                 dist2(&pu, &pv) <= dist2(&u, &v) + 1e-9,
-                "{cone:?} expanded"
+                "seed {seed}: {cone:?} expanded"
             );
         }
     }
+}
 
-    /// Moreau decomposition: v = Π_K(v) − Π_K(−v) for self-dual cones.
-    #[test]
-    fn moreau_decomposition(v in vec_strategy(6)) {
+/// Moreau decomposition: v = Π_K(v) − Π_K(−v) for self-dual cones.
+#[test]
+fn moreau_decomposition() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let v = rand_vec(&mut rng, 6);
         for cone in [Cone::NonNeg(6), Cone::Soc(6), Cone::Psd(3)] {
             let mut p = v.clone();
             cone.project(&mut p);
             let mut q: Vec<f64> = v.iter().map(|x| -x).collect();
             cone.project(&mut q);
             for k in 0..v.len() {
-                prop_assert!(
+                assert!(
                     (p[k] - q[k] - v[k]).abs() < 1e-8,
-                    "{cone:?}: Moreau identity fails at {k}"
+                    "seed {seed}: {cone:?}: Moreau identity fails at {k}"
                 );
             }
             // Orthogonality of the parts.
             let dot: f64 = p.iter().zip(q.iter()).map(|(a, b)| a * b).sum();
-            prop_assert!(dot.abs() < 1e-7, "{cone:?}: parts not orthogonal");
+            assert!(dot.abs() < 1e-7, "seed {seed}: {cone:?}: parts not orthogonal");
         }
     }
+}
 
-    /// Random bounded LPs solve to a consistent optimum: feasibility
-    /// plus complementary slackness hold at the reported solution.
-    #[test]
-    fn random_lp_kkt(c0 in -3.0..3.0f64, c1 in -3.0..3.0f64, ub in 1.0..5.0f64) {
+/// Random bounded LPs solve to a consistent optimum: feasibility
+/// plus complementary slackness hold at the reported solution.
+#[test]
+fn random_lp_kkt() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + seed);
+        let c0 = rng.gen_range(-3.0..3.0);
+        let c1 = rng.gen_range(-3.0..3.0);
+        let ub = rng.gen_range(1.0..5.0);
         let mut b = ConeProgramBuilder::new(2);
         b.set_objective_coeff(0, c0);
         b.set_objective_coeff(1, c1);
@@ -73,18 +94,43 @@ proptest! {
         b.add_le(&[(0, 1.0)], ub);
         b.add_le(&[(1, 1.0)], ub);
         let p = b.build().expect("program");
-        let sol = AdmmSolver::new(AdmmSettings { eps: 1e-8, ..AdmmSettings::default() })
-            .solve(&p)
-            .expect("solve");
-        prop_assert!(sol.status.is_usable());
+        let sol = AdmmSolver::new(AdmmSettings {
+            eps: 1e-8,
+            ..AdmmSettings::default()
+        })
+        .solve(&p)
+        .expect("solve");
+        assert!(sol.status.is_usable(), "seed {seed}");
         // Box feasibility.
         for &x in &sol.x {
-            prop_assert!(x >= -1e-5 && x <= ub + 1e-5);
+            assert!(x >= -1e-5 && x <= ub + 1e-5, "seed {seed}");
         }
         // The optimum of a box LP is at a vertex determined by signs.
-        let expect0 = if c0 > 1e-6 { 0.0 } else if c0 < -1e-6 { ub } else { sol.x[0] };
-        let expect1 = if c1 > 1e-6 { 0.0 } else if c1 < -1e-6 { ub } else { sol.x[1] };
-        prop_assert!((sol.x[0] - expect0).abs() < 1e-3, "x0 {} vs {}", sol.x[0], expect0);
-        prop_assert!((sol.x[1] - expect1).abs() < 1e-3, "x1 {} vs {}", sol.x[1], expect1);
+        let expect0 = if c0 > 1e-6 {
+            0.0
+        } else if c0 < -1e-6 {
+            ub
+        } else {
+            sol.x[0]
+        };
+        let expect1 = if c1 > 1e-6 {
+            0.0
+        } else if c1 < -1e-6 {
+            ub
+        } else {
+            sol.x[1]
+        };
+        assert!(
+            (sol.x[0] - expect0).abs() < 1e-3,
+            "seed {seed}: x0 {} vs {}",
+            sol.x[0],
+            expect0
+        );
+        assert!(
+            (sol.x[1] - expect1).abs() < 1e-3,
+            "seed {seed}: x1 {} vs {}",
+            sol.x[1],
+            expect1
+        );
     }
 }

@@ -74,7 +74,9 @@ pub fn check_distance_feasibility(
                 + (positions[i].1 - positions[j].1).powi(2);
             let bound = bounds[idx];
             idx += 1;
-            if d2 < bound * (1.0 - tolerance) {
+            // A non-positive bound (e.g. two zero-area modules) is
+            // trivially satisfied and must not reach the division.
+            if bound > 0.0 && d2 < bound * (1.0 - tolerance) {
                 violations += 1;
                 max_rel = max_rel.max((bound - d2) / bound);
             }
@@ -164,6 +166,48 @@ mod tests {
         let bad = check_distance_feasibility(&p, &stacked, 1e-9);
         assert_eq!(bad.violations, 45);
         assert!(bad.max_relative_violation > 0.99);
+    }
+
+    #[test]
+    fn zero_area_modules_yield_finite_feasibility() {
+        use gfp_linalg::Mat;
+        let n = 3;
+        let mut a = Mat::zeros(n, n);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 2)] = 1.0;
+        a[(2, 1)] = 1.0;
+        // Built directly: Netlist::new rejects zero areas, but the
+        // problem struct itself does not, and diagnostics must stay
+        // finite on such inputs.
+        let p = GlobalFloorplanProblem {
+            n,
+            areas: vec![0.0, 0.0, 4.0],
+            radii: vec![0.0, 0.0, 1.0],
+            a,
+            pad_a: Mat::zeros(n, 0),
+            pad_positions: vec![],
+            fixed: vec![None; n],
+            outline: None,
+            aspect_limit: 1.0,
+            margin_factor: 1.0,
+            hyperedges: vec![],
+            max_distance: vec![],
+            min_distance: vec![],
+        };
+        // Everything stacked at one point: the two zero-area pairs
+        // have a zero distance bound and must not produce NaN/inf.
+        let stacked = vec![(0.0, 0.0); n];
+        let report = check_distance_feasibility(&p, &stacked, 0.05);
+        assert!(
+            report.max_relative_violation.is_finite(),
+            "relative violation must stay finite, got {}",
+            report.max_relative_violation
+        );
+        assert_eq!(report.pairs, 3);
+        // Only the two pairs with a positive bound count as violated.
+        assert_eq!(report.violations, 2);
+        assert!((report.max_relative_violation - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use gfp_conic::{AdmmSettings, AdmmSolver, ConeProgramBuilder};
 use gfp_core::GlobalFloorplanProblem;
 use gfp_netlist::geometry::Rect;
 use gfp_netlist::{hpwl, Netlist, Outline, PinRef};
+use gfp_telemetry as telemetry;
 
 use crate::constraint_graph::{ConstraintGraph, Relation};
 use crate::LegalizeError;
@@ -73,10 +74,12 @@ pub fn legalize(
 ) -> Result<LegalFloorplan, LegalizeError> {
     let n = problem.n;
     assert_eq!(centers.len(), n, "centers length mismatch");
+    let _legalize_span = telemetry::span("legalize");
     let k = problem.aspect_limit.max(1.0);
     let scale = outline.width;
 
     // --- constraint graphs + TOFU-style repair ---------------------------
+    let graph_span = telemetry::span("legalize.graph");
     let mut graph = ConstraintGraph::from_positions(centers, outline);
     // Flip critical-path relations until shapes fit, trying square
     // shapes first and progressively more compressed ones.
@@ -99,6 +102,16 @@ pub fn legalize(
     if graph.min_width(&min_w) > outline.width * (1.0 + settings.tol)
         || graph.min_height(&min_w) > outline.height * (1.0 + settings.tol)
     {
+        if telemetry::enabled() {
+            telemetry::event(
+                "legalize.infeasible",
+                &[
+                    ("modules", (n as u64).into()),
+                    ("min_width", graph.min_width(&min_w).into()),
+                    ("min_height", graph.min_height(&min_w).into()),
+                ],
+            );
+        }
         return Err(LegalizeError::Infeasible {
             detail: format!(
                 "constraint graph needs {:.1} x {:.1}, outline is {:.1} x {:.1}",
@@ -109,6 +122,16 @@ pub fn legalize(
             ),
         });
     }
+    if telemetry::enabled() {
+        telemetry::event(
+            "legalize.graph",
+            &[
+                ("modules", (n as u64).into()),
+                ("relations", (graph.relations.len() as u64).into()),
+            ],
+        );
+    }
+    drop(graph_span);
 
     // --- variable layout (normalized by outline width) -------------------
     let var_x = |i: usize| 4 * i;
@@ -258,9 +281,11 @@ pub fn legalize(
     }
 
     // --- solve --------------------------------------------------------------
+    let socp_span = telemetry::span("legalize.socp");
     let program = b.build()?;
     let solver = AdmmSolver::new(settings.admm.clone());
     let (sol, _trace) = solver.solve_with_trace(&program, Some(&warm))?;
+    drop(socp_span);
     // A non-converged solve may still carry physically valid shapes
     // (feasible but not wirelength-optimal); validation below decides.
     let solver_note = if sol.status.is_usable() {
@@ -319,6 +344,16 @@ pub fn legalize(
 
     let centers: Vec<(f64, f64)> = rects.iter().map(Rect::center).collect();
     let wl = hpwl::hpwl(netlist, &centers);
+    if telemetry::enabled() {
+        telemetry::event(
+            "legalize.done",
+            &[
+                ("modules", (n as u64).into()),
+                ("hpwl", wl.into()),
+                ("socp_objective", (sol.objective * scale).into()),
+            ],
+        );
+    }
     Ok(LegalFloorplan {
         rects,
         hpwl: wl,

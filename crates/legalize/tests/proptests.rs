@@ -1,13 +1,18 @@
 //! Property-based tests for constraint graphs: every random layout
 //! yields an acyclic, complete relation set, and repair never breaks
-//! those invariants.
+//! those invariants. Driven by deterministic seeded loops over the
+//! workspace PRNG.
 
 use gfp_legalize::constraint_graph::{ConstraintGraph, Relation};
 use gfp_netlist::Outline;
-use proptest::prelude::*;
+use gfp_rand::Rng;
 
-fn positions_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), n)
+const CASES: u64 = 128;
+
+fn random_positions(rng: &mut Rng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect()
 }
 
 /// Detects cycles in one direction of the relation set.
@@ -38,50 +43,72 @@ fn is_acyclic(g: &ConstraintGraph, horizontal: bool) -> bool {
     seen == n
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn graphs_are_complete_and_acyclic(pos in positions_strategy(8)) {
+#[test]
+fn graphs_are_complete_and_acyclic() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pos = random_positions(&mut rng, 8);
         let outline = Outline::new(100.0, 100.0);
         let g = ConstraintGraph::from_positions(&pos, &outline);
-        prop_assert_eq!(g.relations.len(), 8 * 7 / 2);
-        prop_assert!(is_acyclic(&g, true), "horizontal cycle");
-        prop_assert!(is_acyclic(&g, false), "vertical cycle");
+        assert_eq!(g.relations.len(), 8 * 7 / 2, "seed {seed}");
+        assert!(is_acyclic(&g, true), "seed {seed}: horizontal cycle");
+        assert!(is_acyclic(&g, false), "seed {seed}: vertical cycle");
     }
+}
 
-    #[test]
-    fn repair_preserves_acyclicity(pos in positions_strategy(7)) {
+#[test]
+fn repair_preserves_acyclicity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(1000 + seed);
+        let pos = random_positions(&mut rng, 7);
         // A deliberately tiny outline forces many repair flips.
         let outline = Outline::new(12.0, 12.0);
         let mut g = ConstraintGraph::from_positions(&pos, &outline);
         let sizes = vec![4.0; 7];
         let _ = g.repair(&sizes, &outline, &pos, 100);
-        prop_assert_eq!(g.relations.len(), 7 * 6 / 2);
-        prop_assert!(is_acyclic(&g, true), "horizontal cycle after repair");
-        prop_assert!(is_acyclic(&g, false), "vertical cycle after repair");
+        assert_eq!(g.relations.len(), 7 * 6 / 2, "seed {seed}");
+        assert!(
+            is_acyclic(&g, true),
+            "seed {seed}: horizontal cycle after repair"
+        );
+        assert!(
+            is_acyclic(&g, false),
+            "seed {seed}: vertical cycle after repair"
+        );
     }
+}
 
-    #[test]
-    fn min_extents_monotone_in_sizes(pos in positions_strategy(6), scale in 1.0..3.0f64) {
+#[test]
+fn min_extents_monotone_in_sizes() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(2000 + seed);
+        let pos = random_positions(&mut rng, 6);
+        let scale = rng.gen_range(1.0..3.0);
         let outline = Outline::new(100.0, 100.0);
         let g = ConstraintGraph::from_positions(&pos, &outline);
         let small = vec![2.0; 6];
         let big: Vec<f64> = small.iter().map(|s| s * scale).collect();
-        prop_assert!(g.min_width(&big) >= g.min_width(&small));
-        prop_assert!(g.min_height(&big) >= g.min_height(&small));
+        assert!(g.min_width(&big) >= g.min_width(&small), "seed {seed}");
+        assert!(g.min_height(&big) >= g.min_height(&small), "seed {seed}");
         // Exact scaling: uniform size scaling scales the longest path.
-        prop_assert!((g.min_width(&big) - scale * g.min_width(&small)).abs() < 1e-9);
+        assert!(
+            (g.min_width(&big) - scale * g.min_width(&small)).abs() < 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn successful_repair_really_fits(pos in positions_strategy(6)) {
+#[test]
+fn successful_repair_really_fits() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(3000 + seed);
+        let pos = random_positions(&mut rng, 6);
         let outline = Outline::new(30.0, 30.0);
         let mut g = ConstraintGraph::from_positions(&pos, &outline);
         let sizes = vec![6.0; 6]; // total area 216 in a 900 outline: fits
         if g.repair(&sizes, &outline, &pos, 100) {
-            prop_assert!(g.min_width(&sizes) <= outline.width + 1e-9);
-            prop_assert!(g.min_height(&sizes) <= outline.height + 1e-9);
+            assert!(g.min_width(&sizes) <= outline.width + 1e-9, "seed {seed}");
+            assert!(g.min_height(&sizes) <= outline.height + 1e-9, "seed {seed}");
         }
     }
 }

@@ -10,8 +10,7 @@
 //! the substitution rationale. Real files can be loaded through
 //! [`crate::bookshelf::parse`] instead and used interchangeably.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gfp_rand::Rng;
 
 use crate::{Module, Net, Netlist, Outline, Pad, PinRef};
 
@@ -76,13 +75,13 @@ pub struct SuiteSpec {
 pub fn generate(spec: &SuiteSpec) -> Benchmark {
     assert!(spec.modules >= 2, "need at least two modules");
     assert!(spec.area_min > 0.0 && spec.area_max >= spec.area_min);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     // Areas: skewed towards small blocks, like the real suites where a
     // few macros dominate.
     let modules: Vec<Module> = (0..spec.modules)
         .map(|i| {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             let area = spec.area_min * (spec.area_max / spec.area_min).powf(u * u);
             Module::new(format!("sb{i}"), (area * 100.0).round() / 100.0)
         })
@@ -105,7 +104,7 @@ pub fn generate(spec: &SuiteSpec) -> Benchmark {
     let mut nets = Vec::with_capacity(spec.nets);
     for k in 0..spec.nets {
         let degree = sample_degree(&mut rng);
-        let use_pad = !pads.is_empty() && rng.gen::<f64>() < 0.25;
+        let use_pad = !pads.is_empty() && rng.gen_f64() < 0.25;
         let module_pins = if use_pad { degree - 1 } else { degree };
         let module_pins = module_pins.min(spec.modules).max(1);
         let mut chosen = Vec::with_capacity(degree);
@@ -142,8 +141,8 @@ pub fn generate(spec: &SuiteSpec) -> Benchmark {
     }
 }
 
-fn sample_degree(rng: &mut StdRng) -> usize {
-    let u: f64 = rng.gen();
+fn sample_degree(rng: &mut Rng) -> usize {
+    let u: f64 = rng.gen_f64();
     match u {
         _ if u < 0.62 => 2,
         _ if u < 0.82 => 3,

@@ -1,70 +1,74 @@
 //! Property-based tests for the netlist model: random netlists keep
 //! adjacency/HPWL invariants and round-trip through bookshelf I/O.
+//! Driven by deterministic seeded loops over the workspace PRNG.
 
 use gfp_netlist::{adjacency, bookshelf, hpwl, Module, Net, Netlist, Outline, Pad, PinRef};
-use proptest::prelude::*;
+use gfp_rand::Rng;
 
-/// Strategy: a random valid netlist with `n` modules, `p` pads and up
-/// to `e` nets.
-fn netlist_strategy() -> impl Strategy<Value = Netlist> {
-    (2usize..8, 0usize..4, 1usize..12).prop_flat_map(|(n, p, e)| {
-        let nets = proptest::collection::vec(
-            (
-                proptest::collection::btree_set(0..(n + p), 2..=4.min(n + p)),
-                0.5..3.0f64,
-            ),
-            1..=e,
-        );
-        nets.prop_map(move |net_specs| {
-            let modules: Vec<Module> = (0..n)
-                .map(|i| Module::new(format!("m{i}"), 10.0 + i as f64))
-                .collect();
-            let pads: Vec<Pad> = (0..p)
-                .map(|i| Pad::new(format!("p{i}"), i as f64 * 7.0, -(i as f64)))
-                .collect();
-            let nets: Vec<Net> = net_specs
+const CASES: u64 = 64;
+
+/// A random valid netlist: 2–7 modules, 0–3 pads, 1–11 nets with
+/// distinct pins and weights in [0.5, 3).
+fn random_netlist(rng: &mut Rng) -> Netlist {
+    let n = rng.gen_range(2..8usize);
+    let p = rng.gen_range(0..4usize);
+    let e = rng.gen_range(1..12usize);
+    let modules: Vec<Module> = (0..n)
+        .map(|i| Module::new(format!("m{i}"), 10.0 + i as f64))
+        .collect();
+    let pads: Vec<Pad> = (0..p)
+        .map(|i| Pad::new(format!("p{i}"), i as f64 * 7.0, -(i as f64)))
+        .collect();
+    let nets: Vec<Net> = (0..e)
+        .map(|k| {
+            let degree = rng.gen_range(2..=4.min(n + p));
+            // Distinct pins: the first `degree` entries of a random
+            // permutation of all module+pad indices, sorted to mirror
+            // the original btree_set ordering.
+            let mut picks = rng.permutation(n + p);
+            picks.truncate(degree);
+            picks.sort_unstable();
+            let pins: Vec<PinRef> = picks
                 .into_iter()
-                .enumerate()
-                .map(|(k, (pins, weight))| {
-                    let pins: Vec<PinRef> = pins
-                        .into_iter()
-                        .map(|q| {
-                            if q < n {
-                                PinRef::Module(q)
-                            } else {
-                                PinRef::Pad(q - n)
-                            }
-                        })
-                        .collect();
-                    let mut net = Net::new(format!("n{k}"), pins);
-                    net.weight = weight;
-                    net
+                .map(|q| {
+                    if q < n {
+                        PinRef::Module(q)
+                    } else {
+                        PinRef::Pad(q - n)
+                    }
                 })
                 .collect();
-            Netlist::new(modules, pads, nets).expect("valid by construction")
+            let mut net = Net::new(format!("n{k}"), pins);
+            net.weight = rng.gen_range(0.5..3.0);
+            net
         })
-    })
+        .collect();
+    Netlist::new(modules, pads, nets).expect("valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn adjacency_is_symmetric_nonnegative(nl in netlist_strategy()) {
+#[test]
+fn adjacency_is_symmetric_nonnegative() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nl = random_netlist(&mut rng);
         let a = adjacency::module_adjacency(&nl);
-        prop_assert!(a.is_symmetric(1e-12));
+        assert!(a.is_symmetric(1e-12), "seed {seed}");
         for i in 0..nl.num_modules() {
-            prop_assert_eq!(a[(i, i)], 0.0);
+            assert_eq!(a[(i, i)], 0.0, "seed {seed}");
             for j in 0..nl.num_modules() {
-                prop_assert!(a[(i, j)] >= 0.0);
+                assert!(a[(i, j)] >= 0.0, "seed {seed}");
             }
         }
     }
+}
 
-    /// Clique model conserves weight: the summed pairwise weight of a
-    /// net equals `w·k_pairs/(k−1)` summed over its module+pad pairs.
-    #[test]
-    fn clique_total_weight_bounded(nl in netlist_strategy()) {
+/// Clique model conserves weight: the summed pairwise weight of a
+/// net equals `w·k_pairs/(k−1)` summed over its module+pad pairs.
+#[test]
+fn clique_total_weight_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let nl = random_netlist(&mut rng);
         let a = adjacency::module_adjacency(&nl);
         let ap = adjacency::pad_adjacency(&nl);
         let mut total = 0.0;
@@ -80,48 +84,73 @@ proptest! {
         }
         // Upper bound: each k-pin net contributes w/(k−1) per ordered
         // pair over at most k(k−1) ordered pairs = w·k.
-        let bound: f64 = nl.nets().iter().map(|e| e.weight * e.pins.len() as f64).sum();
-        prop_assert!(total <= bound + 1e-9);
+        let bound: f64 = nl
+            .nets()
+            .iter()
+            .map(|e| e.weight * e.pins.len() as f64)
+            .sum();
+        assert!(total <= bound + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hpwl_nonnegative_and_scales(nl in netlist_strategy(), scale in 0.5..4.0f64) {
+#[test]
+fn hpwl_nonnegative_and_scales() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let nl = random_netlist(&mut rng);
+        let scale = rng.gen_range(0.5..4.0);
         let n = nl.num_modules();
-        let pos: Vec<(f64, f64)> = (0..n).map(|i| (i as f64 * 3.0, (i * i % 7) as f64)).collect();
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64 * 3.0, (i * i % 7) as f64))
+            .collect();
         let w1 = hpwl::hpwl(&nl, &pos);
-        prop_assert!(w1 >= 0.0);
+        assert!(w1 >= 0.0, "seed {seed}");
         // Pure module nets scale linearly; pads break exact scaling, so
         // only check when there are no pads.
         if nl.pads().is_empty() {
-            let scaled: Vec<(f64, f64)> = pos.iter().map(|&(x, y)| (x * scale, y * scale)).collect();
+            let scaled: Vec<(f64, f64)> =
+                pos.iter().map(|&(x, y)| (x * scale, y * scale)).collect();
             let w2 = hpwl::hpwl(&nl, &scaled);
-            prop_assert!((w2 - scale * w1).abs() < 1e-9 * (1.0 + w2.abs()));
+            assert!(
+                (w2 - scale * w1).abs() < 1e-9 * (1.0 + w2.abs()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn bookshelf_roundtrip_random(nl in netlist_strategy()) {
+#[test]
+fn bookshelf_roundtrip_random() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(300 + seed);
+        let nl = random_netlist(&mut rng);
         let files = bookshelf::write(&nl, 1.0 / 3.0, 3.0);
         let back = bookshelf::parse(&files).expect("parse");
-        prop_assert_eq!(back.num_modules(), nl.num_modules());
-        prop_assert_eq!(back.nets().len(), nl.nets().len());
+        assert_eq!(back.num_modules(), nl.num_modules(), "seed {seed}");
+        assert_eq!(back.nets().len(), nl.nets().len(), "seed {seed}");
         for (a, b) in nl.nets().iter().zip(back.nets().iter()) {
-            prop_assert_eq!(&a.pins, &b.pins);
+            assert_eq!(&a.pins, &b.pins, "seed {seed}");
         }
         for (a, b) in nl.modules().iter().zip(back.modules().iter()) {
-            prop_assert!((a.area - b.area).abs() < 1e-9);
+            assert!((a.area - b.area).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn boundary_points_always_on_outline(w in 1.0..100.0f64, h in 1.0..100.0f64, k in 1usize..50) {
+#[test]
+fn boundary_points_always_on_outline() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(400 + seed);
+        let w = rng.gen_range(1.0..100.0);
+        let h = rng.gen_range(1.0..100.0);
+        let k = rng.gen_range(1..50usize);
         let o = Outline::new(w, h);
         for (x, y) in o.boundary_points(k) {
             let on_edge = x.abs() < 1e-9
                 || (x - w).abs() < 1e-9
                 || y.abs() < 1e-9
                 || (y - h).abs() < 1e-9;
-            prop_assert!(on_edge);
+            assert!(on_edge, "seed {seed}: ({x}, {y})");
         }
     }
 }

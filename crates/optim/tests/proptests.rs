@@ -1,9 +1,16 @@
-//! Property-based tests for the optimizers: L-BFGS must solve random
+//! Property-based tests for the optimizers, driven by deterministic
+//! seeded loops over the workspace PRNG: L-BFGS must solve random
 //! convex quadratics to the analytic optimum, and the gradient checker
 //! must agree with hand-differentiated functions.
 
 use gfp_optim::{check_gradient, Adam, AdamSettings, Lbfgs, LbfgsSettings, Objective};
-use proptest::prelude::*;
+use gfp_rand::Rng;
+
+const CASES: u64 = 48;
+
+fn rand_vec(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 /// Random strictly convex quadratic ½xᵀQx − bᵀx with Q = MᵀM + I.
 struct Quadratic {
@@ -91,43 +98,45 @@ impl Objective for Quadratic {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lbfgs_solves_random_convex_quadratics(
-        entries in proptest::collection::vec(-1.0..1.0f64, 16),
-        b in proptest::collection::vec(-2.0..2.0f64, 4),
-    ) {
+#[test]
+fn lbfgs_solves_random_convex_quadratics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let entries = rand_vec(&mut rng, 16, -1.0, 1.0);
+        let b = rand_vec(&mut rng, 4, -2.0, 2.0);
         let f = Quadratic::from_entries(entries, b);
         let xstar = f.analytic_optimum();
         let r = Lbfgs::new(LbfgsSettings::default()).minimize(&f, &[0.0; 4]);
         for (u, v) in r.x.iter().zip(xstar.iter()) {
-            prop_assert!((u - v).abs() < 1e-5, "lbfgs {u} vs analytic {v}");
+            assert!((u - v).abs() < 1e-5, "seed {seed}: lbfgs {u} vs analytic {v}");
         }
     }
+}
 
-    #[test]
-    fn quadratic_gradients_verify(
-        entries in proptest::collection::vec(-1.0..1.0f64, 9),
-        b in proptest::collection::vec(-2.0..2.0f64, 3),
-        x in proptest::collection::vec(-3.0..3.0f64, 3),
-    ) {
+#[test]
+fn quadratic_gradients_verify() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(100 + seed);
+        let entries = rand_vec(&mut rng, 9, -1.0, 1.0);
+        let b = rand_vec(&mut rng, 3, -2.0, 2.0);
+        let x = rand_vec(&mut rng, 3, -3.0, 3.0);
         let f = Quadratic::from_entries(entries, b);
         let rep = check_gradient(&f, &x, 1e-5);
-        prop_assert!(rep.passes(1e-6), "err {}", rep.max_rel_error);
+        assert!(rep.passes(1e-6), "seed {seed}: err {}", rep.max_rel_error);
     }
+}
 
-    #[test]
-    fn adam_descends_on_random_quadratics(
-        entries in proptest::collection::vec(-1.0..1.0f64, 9),
-        b in proptest::collection::vec(-2.0..2.0f64, 3),
-    ) {
+#[test]
+fn adam_descends_on_random_quadratics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(200 + seed);
+        let entries = rand_vec(&mut rng, 9, -1.0, 1.0);
+        let b = rand_vec(&mut rng, 3, -2.0, 2.0);
         let f = Quadratic::from_entries(entries, b);
         let x0 = [2.0, -2.0, 1.0];
         let f0 = f.value(&x0);
         let r = Adam::new(AdamSettings { max_iter: 800, ..AdamSettings::default() })
             .minimize(&f, &x0);
-        prop_assert!(r.value <= f0 + 1e-12, "Adam did not descend");
+        assert!(r.value <= f0 + 1e-12, "seed {seed}: Adam did not descend");
     }
 }

@@ -1,0 +1,118 @@
+//! Buffered JSONL (one JSON object per line) file sink.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::sink::{Record, Sink};
+
+/// Escapes `s` as a JSON string (including the surrounding quotes)
+/// and appends it to `out`. Hand-rolled: the workspace is offline and
+/// carries no JSON dependency.
+pub fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes each record as one JSON object per line, e.g.
+///
+/// ```json
+/// {"us":1042,"kind":"event","name":"convex.iter","parent":3,"fields":{"alpha":16.0,"rank_gap":0.02}}
+/// ```
+///
+/// Output is buffered; [`Sink::flush`] (called by
+/// [`crate::flush`] and on drop) commits it to disk. Write errors
+/// after construction are silently dropped — telemetry must never
+/// take down a solve.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    fn render(record: &Record<'_>) -> String {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"us\":");
+        line.push_str(&record.micros.to_string());
+        line.push_str(",\"kind\":\"");
+        line.push_str(record.kind.tag());
+        line.push_str("\",\"name\":");
+        escape_json(record.name, &mut line);
+        if record.span_id != 0 {
+            line.push_str(",\"id\":");
+            line.push_str(&record.span_id.to_string());
+        }
+        if record.parent_id != 0 {
+            line.push_str(",\"parent\":");
+            line.push_str(&record.parent_id.to_string());
+        }
+        if let Some(secs) = record.duration_secs {
+            line.push_str(",\"secs\":");
+            if secs.is_finite() {
+                line.push_str(&format!("{secs:?}"));
+            } else {
+                line.push_str("null");
+            }
+        }
+        if !record.fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (key, value)) in record.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                escape_json(key, &mut line);
+                line.push(':');
+                value.write_json(&mut line);
+            }
+            line.push('}');
+        }
+        line.push_str("}\n");
+        line
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record<'_>) {
+        let line = Self::render(record);
+        let mut writer = self.writer.lock().expect("jsonl lock");
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}

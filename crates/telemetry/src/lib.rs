@@ -1,0 +1,357 @@
+//! Std-only telemetry for the convex-iteration floorplanning pipeline.
+//!
+//! Three primitives, one pluggable backend:
+//!
+//! * **Spans** — hierarchical wall-clock timers ([`span`]): an RAII
+//!   guard that records start/end through the active sink and
+//!   aggregates per-path totals for the end-of-run
+//!   [`summary_report`].
+//! * **Events** — structured key-value records ([`event`]), e.g. one
+//!   per convex iteration with `α`, `<B,G>`, the rank gap and solver
+//!   residuals.
+//! * **Counters** — lock-free `AtomicU64` accumulators ([`counter`],
+//!   [`counter_add`]) for totals like ADMM iterations.
+//!
+//! Everything is dispatched through a [`Sink`]:
+//!
+//! * [`NullSink`] — the default; with telemetry disabled the only cost
+//!   at an instrumentation site is one relaxed atomic load
+//!   ([`enabled`]), no allocation, no I/O.
+//! * [`JsonlSink`] — one JSON object per record, buffered, written to
+//!   the file named by the `GFP_TRACE` environment variable (see
+//!   [`init_from_env`]).
+//! * [`RecordingSink`] — in-memory capture for tests.
+//!
+//! # Usage
+//!
+//! ```
+//! use gfp_telemetry as telemetry;
+//!
+//! let sink = std::sync::Arc::new(telemetry::RecordingSink::default());
+//! telemetry::install_sink(sink.clone());
+//! telemetry::set_enabled(true);
+//! {
+//!     let _solve = telemetry::span("solve");
+//!     telemetry::event("iteration", &[("k", 1u64.into()), ("gap", 0.5.into())]);
+//!     telemetry::counter_add("iterations", 1);
+//! }
+//! telemetry::set_enabled(false);
+//! assert_eq!(sink.events_named("iteration").len(), 1);
+//! ```
+//!
+//! Instrumented hot loops guard with [`enabled`] so that building the
+//! field slice is skipped entirely when telemetry is off:
+//!
+//! ```
+//! # use gfp_telemetry as telemetry;
+//! # let residual = 0.0f64;
+//! if telemetry::enabled() {
+//!     telemetry::event("admm.residuals", &[("primal", residual.into())]);
+//! }
+//! ```
+
+mod jsonl;
+mod sink;
+mod span;
+mod value;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+pub use jsonl::{escape_json, JsonlSink};
+pub use sink::{NullSink, OwnedRecord, Record, RecordKind, RecordingSink, Sink};
+pub use span::{span, SpanGuard};
+pub use value::Value;
+
+/// Process-wide telemetry state. Created lazily on first use.
+struct Global {
+    enabled: AtomicBool,
+    sink: RwLock<Arc<dyn Sink>>,
+    start: Instant,
+    next_span_id: AtomicU64,
+    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
+    span_stats: Mutex<BTreeMap<String, SpanStat>>,
+    event_counts: Mutex<BTreeMap<String, u64>>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanStat {
+    count: u64,
+    total_secs: f64,
+}
+
+static GLOBAL: OnceLock<Global> = OnceLock::new();
+
+fn global() -> &'static Global {
+    GLOBAL.get_or_init(|| Global {
+        enabled: AtomicBool::new(false),
+        sink: RwLock::new(Arc::new(NullSink)),
+        start: Instant::now(),
+        next_span_id: AtomicU64::new(0),
+        counters: Mutex::new(Vec::new()),
+        span_stats: Mutex::new(BTreeMap::new()),
+        event_counts: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Whether telemetry is currently enabled (one relaxed atomic load —
+/// this is the *entire* hot-path cost when disabled).
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL
+        .get()
+        .is_some_and(|g| g.enabled.load(Ordering::Relaxed))
+}
+
+/// Turns telemetry on or off. Disabling flushes the active sink.
+pub fn set_enabled(on: bool) {
+    let g = global();
+    g.enabled.store(on, Ordering::Relaxed);
+    if !on {
+        flush();
+    }
+}
+
+/// Replaces the active sink (flushing the previous one). Does not
+/// change the enabled flag.
+pub fn install_sink(sink: Arc<dyn Sink>) {
+    let g = global();
+    let old = {
+        let mut slot = g.sink.write().expect("sink lock");
+        std::mem::replace(&mut *slot, sink)
+    };
+    old.flush();
+}
+
+/// Enables telemetry, installing a [`JsonlSink`] when the `GFP_TRACE`
+/// environment variable names a writable path. Returns `true` when a
+/// JSONL file sink was installed (telemetry is enabled either way, so
+/// spans, counters and the summary report still work sink-less).
+pub fn init_from_env() -> bool {
+    let installed = match std::env::var_os("GFP_TRACE") {
+        Some(path) if !path.is_empty() => match JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(sink) => {
+                install_sink(Arc::new(sink));
+                true
+            }
+            Err(e) => {
+                eprintln!("gfp-telemetry: cannot open {}: {e}", path.to_string_lossy());
+                false
+            }
+        },
+        _ => false,
+    };
+    set_enabled(true);
+    installed
+}
+
+/// Emits a structured event through the active sink and bumps the
+/// per-name event count used by [`summary_report`]. No-op (beyond the
+/// flag check) when disabled.
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    let g = global();
+    *g.event_counts
+        .lock()
+        .expect("event counts lock")
+        .entry(name.to_string())
+        .or_insert(0) += 1;
+    let record = Record {
+        kind: RecordKind::Event,
+        name,
+        span_id: 0,
+        parent_id: span::current_span_id(),
+        micros: g.start.elapsed().as_micros() as u64,
+        duration_secs: None,
+        fields,
+    };
+    g.sink.read().expect("sink lock").record(&record);
+}
+
+/// Returns the named counter's handle, registering it on first use.
+/// The handle is lock-free to bump; hot loops should fetch it once.
+pub fn counter(name: &'static str) -> Arc<AtomicU64> {
+    let g = global();
+    let mut counters = g.counters.lock().expect("counter lock");
+    if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
+        return Arc::clone(c);
+    }
+    let c = Arc::new(AtomicU64::new(0));
+    counters.push((name, Arc::clone(&c)));
+    c
+}
+
+/// Adds `delta` to the named counter when telemetry is enabled.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    counter(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Snapshot of all registered counters, in registration order.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    let g = global();
+    g.counters
+        .lock()
+        .expect("counter lock")
+        .iter()
+        .map(|(n, c)| (*n, c.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Flushes the active sink (e.g. the buffered JSONL writer).
+pub fn flush() {
+    if let Some(g) = GLOBAL.get() {
+        g.sink.read().expect("sink lock").flush();
+    }
+}
+
+/// Clears aggregated span statistics, event counts and counter values.
+/// The installed sink and enabled flag are untouched. Intended for
+/// tests and for binaries that run several independent experiments.
+pub fn reset_aggregates() {
+    let g = global();
+    g.span_stats.lock().expect("span stats lock").clear();
+    g.event_counts.lock().expect("event counts lock").clear();
+    for (_, c) in g.counters.lock().expect("counter lock").iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Internal: allocate a fresh span id (never 0).
+pub(crate) fn next_span_id() -> u64 {
+    global().next_span_id.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Internal: microseconds since telemetry start.
+pub(crate) fn now_micros() -> u64 {
+    global().start.elapsed().as_micros() as u64
+}
+
+/// Internal: forward a record to the active sink.
+pub(crate) fn dispatch(record: &Record<'_>) {
+    let g = global();
+    g.sink.read().expect("sink lock").record(record);
+}
+
+/// Internal: fold a finished span into the per-path aggregate.
+pub(crate) fn aggregate_span(path: &str, secs: f64) {
+    let g = global();
+    let mut stats = g.span_stats.lock().expect("span stats lock");
+    let stat = stats.entry(path.to_string()).or_default();
+    stat.count += 1;
+    stat.total_secs += secs;
+}
+
+/// Renders the end-of-run report: the span tree with call counts and
+/// wall times, per-name event counts and counter totals.
+///
+/// Span paths aggregate across threads by name path, so repeated
+/// invocations of the same phase fold into one line with `count > 1`.
+pub fn summary_report() -> String {
+    let g = global();
+    let mut out = String::from("== telemetry summary ==\n");
+    {
+        let stats = g.span_stats.lock().expect("span stats lock");
+        if stats.is_empty() {
+            out.push_str("spans: (none recorded)\n");
+        } else {
+            out.push_str("spans (wall time):\n");
+            // BTreeMap iteration is path-sorted, so a parent's line
+            // always precedes its children; indent by path depth.
+            for (path, stat) in stats.iter() {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                out.push_str(&format!(
+                    "  {:indent$}{name:<28} {:>7}x {:>12.6}s\n",
+                    "",
+                    stat.count,
+                    stat.total_secs,
+                    indent = depth * 2,
+                ));
+            }
+        }
+    }
+    {
+        let events = g.event_counts.lock().expect("event counts lock");
+        if !events.is_empty() {
+            out.push_str("events:\n");
+            for (name, count) in events.iter() {
+                out.push_str(&format!("  {name:<30} {count:>9}\n"));
+            }
+        }
+    }
+    let counters = counters_snapshot();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<30} {value:>9}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests share the process; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_is_inert() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        // No sink interaction, no aggregation.
+        reset_aggregates();
+        event("never", &[("x", 1u64.into())]);
+        counter_add("never", 5);
+        {
+            let _s = span("never");
+        }
+        assert_eq!(
+            global().event_counts.lock().unwrap().get("never"),
+            None
+        );
+        assert!(global().span_stats.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn counters_register_once() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let a = counter("test.counter_once");
+        let b = counter("test.counter_once");
+        a.store(0, Ordering::Relaxed);
+        a.fetch_add(3, Ordering::Relaxed);
+        b.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn summary_contains_span_and_event_lines() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        install_sink(Arc::new(NullSink));
+        set_enabled(true);
+        reset_aggregates();
+        {
+            let _outer = span("outer_phase");
+            let _inner = span("inner_phase");
+            event("tick", &[]);
+        }
+        set_enabled(false);
+        let report = summary_report();
+        assert!(report.contains("outer_phase"), "{report}");
+        assert!(report.contains("inner_phase"), "{report}");
+        assert!(report.contains("tick"), "{report}");
+        // The child is indented deeper than the parent.
+        let outer_line = report.lines().find(|l| l.contains("outer_phase")).unwrap();
+        let inner_line = report.lines().find(|l| l.contains("inner_phase")).unwrap();
+        let indent = |l: &str| l.chars().take_while(|c| c.is_whitespace()).count();
+        assert!(indent(inner_line) > indent(outer_line), "{report}");
+    }
+}

@@ -1,0 +1,149 @@
+//! The sink trait and the null / in-memory implementations.
+
+use std::sync::Mutex;
+
+use crate::Value;
+
+/// What a [`Record`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A structured key-value event.
+    Event,
+    /// A span opened.
+    SpanStart,
+    /// A span closed; `duration_secs` is set.
+    SpanEnd,
+}
+
+impl RecordKind {
+    /// Stable lowercase tag used in JSONL output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecordKind::Event => "event",
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+        }
+    }
+}
+
+/// A borrowed telemetry record as handed to sinks. Field slices live
+/// on the caller's stack, so sinks must copy whatever they keep.
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    /// Event / span start / span end.
+    pub kind: RecordKind,
+    /// Event or span name.
+    pub name: &'a str,
+    /// Span id for span records; 0 for events.
+    pub span_id: u64,
+    /// Enclosing span id (0 at top level).
+    pub parent_id: u64,
+    /// Microseconds since telemetry initialisation.
+    pub micros: u64,
+    /// Wall-clock duration; only set for [`RecordKind::SpanEnd`].
+    pub duration_secs: Option<f64>,
+    /// Key-value payload.
+    pub fields: &'a [(&'a str, Value)],
+}
+
+/// Backend for telemetry records. Implementations must be cheap and
+/// thread-safe: `record` is called from instrumented hot paths.
+pub trait Sink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, record: &Record<'_>);
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Discards everything. The default sink; combined with the disabled
+/// flag it makes instrumentation free when telemetry is off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _record: &Record<'_>) {}
+}
+
+/// An owned copy of a [`Record`], as captured by [`RecordingSink`].
+#[derive(Debug, Clone)]
+pub struct OwnedRecord {
+    /// Event / span start / span end.
+    pub kind: RecordKind,
+    /// Event or span name.
+    pub name: String,
+    /// Span id for span records; 0 for events.
+    pub span_id: u64,
+    /// Enclosing span id (0 at top level).
+    pub parent_id: u64,
+    /// Microseconds since telemetry initialisation.
+    pub micros: u64,
+    /// Wall-clock duration for span ends.
+    pub duration_secs: Option<f64>,
+    /// Key-value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl OwnedRecord {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Captures records in memory for assertions in tests.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    records: Mutex<Vec<OwnedRecord>>,
+}
+
+impl RecordingSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything captured so far.
+    pub fn snapshot(&self) -> Vec<OwnedRecord> {
+        self.records.lock().expect("recording lock").clone()
+    }
+
+    /// Drains and returns everything captured so far.
+    pub fn take(&self) -> Vec<OwnedRecord> {
+        std::mem::take(&mut *self.records.lock().expect("recording lock"))
+    }
+
+    /// Captured events (not span records) with the given name.
+    pub fn events_named(&self, name: &str) -> Vec<OwnedRecord> {
+        self.records
+            .lock()
+            .expect("recording lock")
+            .iter()
+            .filter(|r| r.kind == RecordKind::Event && r.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Discards everything captured so far.
+    pub fn clear(&self) {
+        self.records.lock().expect("recording lock").clear();
+    }
+}
+
+impl Sink for RecordingSink {
+    fn record(&self, record: &Record<'_>) {
+        let owned = OwnedRecord {
+            kind: record.kind,
+            name: record.name.to_string(),
+            span_id: record.span_id,
+            parent_id: record.parent_id,
+            micros: record.micros,
+            duration_secs: record.duration_secs,
+            fields: record
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.records.lock().expect("recording lock").push(owned);
+    }
+}

@@ -1,0 +1,102 @@
+//! Hierarchical RAII spans with a thread-local nesting stack.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::sink::{Record, RecordKind};
+
+struct Frame {
+    id: u64,
+    path: String,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Span id of the innermost open span on this thread (0 if none).
+pub(crate) fn current_span_id() -> u64 {
+    STACK.with(|s| s.borrow().last().map_or(0, |f| f.id))
+}
+
+/// Opens a timed span and returns its RAII guard; the span closes when
+/// the guard drops. Nesting is tracked per thread, and each span's
+/// '/'-joined name path is aggregated for
+/// [`summary_report`](crate::summary_report).
+///
+/// When telemetry is disabled this returns an inert guard: no
+/// allocation, no sink traffic, no stack manipulation.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            id: 0,
+            start: None,
+        };
+    }
+    let id = crate::next_span_id();
+    let parent_id = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let (parent_id, path) = match stack.last() {
+            Some(parent) => (parent.id, format!("{}/{name}", parent.path)),
+            None => (0, name.to_string()),
+        };
+        stack.push(Frame { id, path });
+        parent_id
+    });
+    crate::dispatch(&Record {
+        kind: RecordKind::SpanStart,
+        name,
+        span_id: id,
+        parent_id,
+        micros: crate::now_micros(),
+        duration_secs: None,
+        fields: &[],
+    });
+    SpanGuard {
+        id,
+        start: Some((name, Instant::now())),
+    }
+}
+
+/// RAII guard returned by [`span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    start: Option<(&'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.start.take() else {
+            return;
+        };
+        let secs = start.elapsed().as_secs_f64();
+        // Pop this span's frame. Guards normally drop in LIFO order;
+        // if one was held past its children, truncate down to it so
+        // the stack cannot leak frames.
+        let popped = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            match stack.iter().rposition(|f| f.id == self.id) {
+                Some(pos) => {
+                    let frame = stack.swap_remove(pos);
+                    stack.truncate(pos);
+                    Some((frame.path, stack.last().map_or(0, |f| f.id)))
+                }
+                None => None,
+            }
+        });
+        let Some((path, parent_id)) = popped else {
+            return;
+        };
+        crate::aggregate_span(&path, secs);
+        crate::dispatch(&Record {
+            kind: RecordKind::SpanEnd,
+            name,
+            span_id: self.id,
+            parent_id,
+            micros: crate::now_micros(),
+            duration_secs: Some(secs),
+            fields: &[],
+        });
+    }
+}

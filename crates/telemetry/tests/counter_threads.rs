@@ -1,0 +1,39 @@
+//! Counter atomicity under concurrent bumps from many threads.
+
+use std::sync::atomic::Ordering;
+
+use gfp_telemetry as telemetry;
+
+#[test]
+fn counters_are_atomic_across_threads() {
+    telemetry::set_enabled(true);
+    const THREADS: usize = 8;
+    const BUMPS: usize = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                // Half through a cached handle (the hot-loop pattern),
+                // half through the by-name convenience helper.
+                let c = telemetry::counter("test.parallel");
+                for _ in 0..BUMPS {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+                for _ in 0..BUMPS {
+                    telemetry::counter_add("test.parallel", 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    telemetry::set_enabled(false);
+
+    let snapshot = telemetry::counters_snapshot();
+    let total = snapshot
+        .iter()
+        .find(|(name, _)| *name == "test.parallel")
+        .map(|(_, v)| *v)
+        .expect("counter registered");
+    assert_eq!(total, (THREADS * BUMPS * 2) as u64, "no lost updates");
+}

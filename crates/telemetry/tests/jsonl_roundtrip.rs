@@ -1,0 +1,287 @@
+//! JSONL sink round-trip: render records through [`JsonlSink`], parse
+//! the lines back with a mini JSON parser, and compare. These tests
+//! use the sink directly (no global state), so they can run in
+//! parallel with everything else.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use gfp_telemetry::{escape_json, JsonlSink, Record, RecordKind, Sink, Value};
+
+// --- shared in-memory writer -------------------------------------------
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// --- mini JSON parser ---------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse(input: &str) -> Json {
+        let mut p = Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+        };
+        let v = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.chars.len(), "trailing garbage in {input:?}");
+        v
+    }
+
+    fn peek(&self) -> char {
+        self.chars[self.pos]
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) {
+        let got = self.bump();
+        assert_eq!(got, c, "expected {c:?} at {}", self.pos);
+    }
+
+    fn literal(&mut self, lit: &str) {
+        for c in lit.chars() {
+            self.expect(c);
+        }
+    }
+
+    fn value(&mut self) -> Json {
+        self.skip_ws();
+        match self.peek() {
+            '{' => self.object(),
+            '"' => Json::Str(self.string()),
+            't' => {
+                self.literal("true");
+                Json::Bool(true)
+            }
+            'f' => {
+                self.literal("false");
+                Json::Bool(false)
+            }
+            'n' => {
+                self.literal("null");
+                Json::Null
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect('{');
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == '}' {
+            self.bump();
+            return Json::Obj(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.skip_ws();
+            self.expect(':');
+            let val = self.value();
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                ',' => continue,
+                '}' => break,
+                c => panic!("unexpected {c:?} in object"),
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    fn string(&mut self) -> String {
+        self.expect('"');
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                '"' => return out,
+                '\\' => match self.bump() {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{08}'),
+                    'f' => out.push('\u{0C}'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| self.bump()).collect();
+                        let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                        out.push(char::from_u32(code).expect("valid code point"));
+                    }
+                    c => panic!("unknown escape \\{c}"),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && matches!(self.peek(), '-' | '+' | '.' | 'e' | 'E' | '0'..='9')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        Json::Num(text.parse().expect("number"))
+    }
+}
+
+// --- tests ---------------------------------------------------------------
+
+const NASTY: &[&str] = &[
+    "plain",
+    "with \"quotes\" and \\backslashes\\",
+    "line\nbreak\r\ttab",
+    "control \u{01}\u{08}\u{0C}\u{1f} chars",
+    "unicode: αβγ 模块 ±∞",
+    "",
+];
+
+#[test]
+fn escape_json_round_trips_nasty_strings() {
+    for s in NASTY {
+        let mut escaped = String::new();
+        escape_json(s, &mut escaped);
+        assert_eq!(
+            Parser::parse(&escaped),
+            Json::Str((*s).to_string()),
+            "escaping {s:?}"
+        );
+    }
+}
+
+#[test]
+fn event_record_round_trips_through_jsonl() {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::from_writer(Box::new(buf.clone()));
+    let fields = vec![
+        ("count", Value::U64(42)),
+        ("delta", Value::I64(-3)),
+        ("gap", Value::F64(0.125)),
+        ("nan", Value::F64(f64::NAN)),
+        ("ok", Value::Bool(true)),
+        ("status", Value::Str("Converged")),
+        ("note", Value::Text("needs \"escaping\"\n".to_string())),
+    ];
+    sink.record(&Record {
+        kind: RecordKind::Event,
+        name: "convex.iter",
+        span_id: 0,
+        parent_id: 7,
+        micros: 1042,
+        duration_secs: None,
+        fields: &fields,
+    });
+    Sink::flush(&sink);
+
+    let text = buf.contents();
+    assert!(text.ends_with('\n'), "JSONL lines end with newline");
+    let parsed = Parser::parse(text.trim_end());
+    assert_eq!(parsed.get("us"), Some(&Json::Num(1042.0)));
+    assert_eq!(parsed.get("kind"), Some(&Json::Str("event".into())));
+    assert_eq!(parsed.get("name"), Some(&Json::Str("convex.iter".into())));
+    assert_eq!(parsed.get("parent"), Some(&Json::Num(7.0)));
+    assert_eq!(parsed.get("id"), None, "events carry no span id");
+    let f = parsed.get("fields").expect("fields object");
+    assert_eq!(f.get("count"), Some(&Json::Num(42.0)));
+    assert_eq!(f.get("delta"), Some(&Json::Num(-3.0)));
+    assert_eq!(f.get("gap"), Some(&Json::Num(0.125)));
+    assert_eq!(f.get("nan"), Some(&Json::Null), "NaN renders as null");
+    assert_eq!(f.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(f.get("status"), Some(&Json::Str("Converged".into())));
+    assert_eq!(
+        f.get("note"),
+        Some(&Json::Str("needs \"escaping\"\n".into()))
+    );
+}
+
+#[test]
+fn span_records_round_trip_through_jsonl() {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::from_writer(Box::new(buf.clone()));
+    sink.record(&Record {
+        kind: RecordKind::SpanStart,
+        name: "sdp.solve",
+        span_id: 3,
+        parent_id: 0,
+        micros: 10,
+        duration_secs: None,
+        fields: &[],
+    });
+    sink.record(&Record {
+        kind: RecordKind::SpanEnd,
+        name: "sdp.solve",
+        span_id: 3,
+        parent_id: 0,
+        micros: 250_010,
+        duration_secs: Some(0.25),
+        fields: &[],
+    });
+    Sink::flush(&sink);
+
+    let text = buf.contents();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let start = Parser::parse(lines[0]);
+    assert_eq!(start.get("kind"), Some(&Json::Str("span_start".into())));
+    assert_eq!(start.get("id"), Some(&Json::Num(3.0)));
+    assert_eq!(start.get("secs"), None);
+    let end = Parser::parse(lines[1]);
+    assert_eq!(end.get("kind"), Some(&Json::Str("span_end".into())));
+    assert_eq!(end.get("id"), Some(&Json::Num(3.0)));
+    assert_eq!(end.get("secs"), Some(&Json::Num(0.25)));
+    assert_eq!(end.get("fields"), None, "empty fields are omitted");
+}

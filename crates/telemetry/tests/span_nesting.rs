@@ -1,0 +1,77 @@
+//! Span nesting: start/end ordering, parent links, and path
+//! aggregation. Single test — it owns the process-wide telemetry
+//! state (each integration-test file runs as its own process).
+
+use std::sync::Arc;
+
+use gfp_telemetry as telemetry;
+use telemetry::RecordKind;
+
+#[test]
+fn span_records_nest_in_order() {
+    let sink = Arc::new(telemetry::RecordingSink::new());
+    telemetry::install_sink(sink.clone());
+    telemetry::set_enabled(true);
+    telemetry::reset_aggregates();
+    {
+        let _outer = telemetry::span("outer");
+        telemetry::event("mark", &[("k", 1u64.into())]);
+        {
+            let _inner = telemetry::span("inner");
+            telemetry::event("tick", &[]);
+        }
+        {
+            let _inner = telemetry::span("inner");
+        }
+    }
+    telemetry::set_enabled(false);
+
+    let records = sink.snapshot();
+    let kinds: Vec<(RecordKind, &str)> = records
+        .iter()
+        .map(|r| (r.kind, r.name.as_str()))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (RecordKind::SpanStart, "outer"),
+            (RecordKind::Event, "mark"),
+            (RecordKind::SpanStart, "inner"),
+            (RecordKind::Event, "tick"),
+            (RecordKind::SpanEnd, "inner"),
+            (RecordKind::SpanStart, "inner"),
+            (RecordKind::SpanEnd, "inner"),
+            (RecordKind::SpanEnd, "outer"),
+        ]
+    );
+
+    let outer_start = &records[0];
+    let mark = &records[1];
+    let inner_start = &records[2];
+    let tick = &records[3];
+    let inner_end = &records[4];
+    let outer_end = &records[7];
+    assert_ne!(outer_start.span_id, 0);
+    assert_eq!(outer_start.parent_id, 0, "outer is a root span");
+    assert_eq!(mark.parent_id, outer_start.span_id);
+    assert_eq!(inner_start.parent_id, outer_start.span_id);
+    assert_eq!(tick.parent_id, inner_start.span_id);
+    assert_eq!(inner_end.span_id, inner_start.span_id);
+    assert!(inner_end.duration_secs.expect("span end has duration") >= 0.0);
+    assert!(
+        outer_end.duration_secs.unwrap() >= inner_end.duration_secs.unwrap(),
+        "outer span contains inner"
+    );
+
+    // The summary aggregates by '/'-joined path: two "inner" spans
+    // fold into one line under "outer".
+    let report = telemetry::summary_report();
+    let inner_line = report
+        .lines()
+        .find(|l| l.contains("inner"))
+        .expect("inner span line");
+    assert!(inner_line.contains("2x"), "{report}");
+    let outer_line = report.lines().find(|l| l.contains("outer")).unwrap();
+    let indent = |l: &str| l.chars().take_while(|c| c.is_whitespace()).count();
+    assert!(indent(inner_line) > indent(outer_line), "{report}");
+}

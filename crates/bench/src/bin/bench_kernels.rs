@@ -1,0 +1,152 @@
+//! Tracked kernel benchmark baseline: serial vs parallel wall time for
+//! the three hot numeric kernels (`matmul`, `eigh`, `project_psd`) at
+//! n ∈ {50, 100, 200}, written to `BENCH_kernels.json` at the repo
+//! root so regressions show up in review diffs.
+//!
+//! Serial and parallel columns are measured in one process by swapping
+//! the thread-local `gfp-parallel` pool (1 worker vs `GFP_THREADS`,
+//! default 4), and every pair is checked for bitwise-identical output
+//! — the speedup column is only meaningful because the answers match
+//! exactly.
+//!
+//! Flags:
+//! * `--smoke` — tiny sizes and sample counts, output to
+//!   `target/BENCH_kernels.smoke.json` (CI gate; does not disturb the
+//!   tracked baseline).
+//! * `--out <path>` — override the output path.
+
+use std::path::PathBuf;
+
+use gfp_bench::microbench::{write_kernel_report, Group, KernelRecord};
+use gfp_conic::Cone;
+use gfp_linalg::{eigh, Mat};
+use gfp_parallel::{with_pool, ThreadPool};
+use gfp_rand::Rng;
+
+fn random_mat(rng: &mut Rng, rows: usize, cols: usize) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = 2.0 * rng.gen_f64() - 1.0;
+        }
+    }
+    m
+}
+
+fn random_sym(rng: &mut Rng, n: usize) -> Mat {
+    let mut m = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = 2.0 * rng.gen_f64() - 1.0;
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Benchmarks `f` under both pools and returns the record plus the
+/// bitwise comparison of the two outputs.
+fn measure<F>(
+    group: &Group,
+    kernel: &str,
+    n: usize,
+    samples: usize,
+    serial: &ThreadPool,
+    parallel: &ThreadPool,
+    f: F,
+) -> KernelRecord
+where
+    F: Fn() -> Vec<f64>,
+{
+    let out_serial = with_pool(serial, &f);
+    let out_parallel = with_pool(parallel, &f);
+    let bitwise_match = bits_eq(&out_serial, &out_parallel);
+    let serial_secs = with_pool(serial, || group.bench(&format!("{kernel}/{n}/serial"), samples, &f));
+    let parallel_secs =
+        with_pool(parallel, || group.bench(&format!("{kernel}/{n}/parallel"), samples, &f));
+    KernelRecord {
+        kernel: kernel.to_string(),
+        n,
+        serial_secs,
+        parallel_secs,
+        bitwise_match,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            if smoke {
+                PathBuf::from("target/BENCH_kernels.smoke.json")
+            } else {
+                PathBuf::from("BENCH_kernels.json")
+            }
+        });
+    let workers: usize = std::env::var("GFP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let sizes: &[usize] = if smoke { &[50] } else { &[50, 100, 200] };
+    let samples = if smoke { 2 } else { 5 };
+
+    let serial = ThreadPool::new(1);
+    let parallel = ThreadPool::new(workers);
+    let group = Group::new("kernels");
+    let mut rng = Rng::seed_from_u64(0xbe9c_0001);
+    let mut records = Vec::new();
+
+    for &n in sizes {
+        let a = random_mat(&mut rng, n, n);
+        let b = random_mat(&mut rng, n, n);
+        records.push(measure(&group, "matmul", n, samples, &serial, &parallel, || {
+            a.matmul(&b).as_slice().to_vec()
+        }));
+
+        let sym = random_sym(&mut rng, n);
+        records.push(measure(&group, "eigh", n, samples, &serial, &parallel, || {
+            let e = eigh(&sym).expect("eigh");
+            let mut flat = e.values.clone();
+            flat.extend_from_slice(e.vectors.as_slice());
+            flat
+        }));
+
+        let v0 = gfp_linalg::svec::svec(&sym);
+        let cone = Cone::Psd(n);
+        records.push(measure(&group, "project_psd", n, samples, &serial, &parallel, || {
+            let mut v = v0.clone();
+            cone.project(&mut v);
+            v
+        }));
+    }
+
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    write_kernel_report(&out_path, workers, &records).expect("write kernel report");
+
+    let all_match = records.iter().all(|r| r.bitwise_match);
+    println!("\nwrote {} ({} records)", out_path.display(), records.len());
+    for r in &records {
+        println!(
+            "  {:<12} n={:<4} speedup {:>6.2}x  bitwise_match={}",
+            r.kernel,
+            r.n,
+            r.speedup(),
+            r.bitwise_match
+        );
+    }
+    assert!(all_match, "serial and parallel outputs diverged");
+}

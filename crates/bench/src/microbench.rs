@@ -47,6 +47,72 @@ impl Group {
     }
 }
 
+/// One serial-vs-parallel kernel measurement destined for
+/// `BENCH_kernels.json`.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name (`matmul`, `eigh`, `project_psd`).
+    pub kernel: String,
+    /// Problem size (matrix dimension).
+    pub n: usize,
+    /// Mean seconds per call on a 1-worker pool.
+    pub serial_secs: f64,
+    /// Mean seconds per call on the parallel pool.
+    pub parallel_secs: f64,
+    /// Whether serial and parallel outputs were bitwise identical.
+    pub bitwise_match: bool,
+}
+
+impl KernelRecord {
+    /// Serial-over-parallel wall-time ratio (>1 means the pool wins).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Writes the tracked kernel baseline as a JSON document.
+///
+/// Hand-rolled serialization (the workspace is offline and std-only),
+/// matching the telemetry crate's JSONL conventions.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing `path`.
+pub fn write_kernel_report(
+    path: &std::path::Path,
+    parallel_workers: usize,
+    records: &[KernelRecord],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gfp-kernel-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
+    out.push_str(&format!("  \"parallel_workers\": {parallel_workers},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"serial_secs\": {:.9}, \
+             \"parallel_secs\": {:.9}, \"speedup\": {:.4}, \"bitwise_match\": {}}}{}\n",
+            r.kernel,
+            r.n,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup(),
+            r.bitwise_match,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Human-readable seconds with an adaptive unit.
 fn format_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -67,6 +133,24 @@ mod tests {
         let g = Group::new("test");
         let mean = g.bench("spin", 3, || (0..1000u64).sum::<u64>());
         assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn kernel_report_is_valid_shape() {
+        let rec = KernelRecord {
+            kernel: "matmul".into(),
+            n: 50,
+            serial_secs: 2.0e-3,
+            parallel_secs: 1.0e-3,
+            bitwise_match: true,
+        };
+        assert!((rec.speedup() - 2.0).abs() < 1e-12);
+        let dir = std::env::temp_dir().join("gfp_kernel_report_test.json");
+        write_kernel_report(&dir, 4, &[rec]).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"schema\": \"gfp-kernel-bench-v1\""));
+        assert!(text.contains("\"speedup\": 2.0000"));
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use gfp_linalg::cg::{cg_best_effort, LinOp};
+use gfp_linalg::cg::{cg_best_effort_with, CgWorkspace, LinOp};
 use gfp_linalg::sparse::CsrMat;
 use gfp_linalg::vec_ops::{dot, norm2};
 use gfp_telemetry as telemetry;
@@ -211,8 +211,15 @@ impl AdmmSolver {
         let norm_c_unscaled = norm2(&program.c);
 
         let mut trace = Vec::new();
+        // Per-iteration scratch, allocated once: the hot loop below is
+        // allocation-free (aside from CG's first-call workspace fill).
         let mut ax = vec![0.0; m];
         let mut rhs = vec![0.0; d];
+        let mut tmp = vec![0.0; m];
+        let mut ax_or = vec![0.0; m];
+        let mut pr = vec![0.0; m];
+        let mut aty = vec![0.0; d];
+        let mut cg_ws = CgWorkspace::new(d);
         let mut status = SolveStatus::MaxIterations;
         let mut iterations_used = st.max_iter;
         let mut pri_rel = f64::INFINITY;
@@ -222,7 +229,6 @@ impl AdmmSolver {
         let mut iter = 0;
         while iter < st.max_iter {
             // ---- x-update: (εI + AᵀA) x = Aᵀ(b − s − y/ρ) − c/ρ + ε x_prev
-            let mut tmp = vec![0.0; m];
             for i in 0..m {
                 tmp[i] = b[i] - s[i] - y[i] / rho;
             }
@@ -231,22 +237,19 @@ impl AdmmSolver {
                 rhs[j] += -c[j] / rho + st.prox_eps * x[j];
             }
             let cg_tol = 1e-10_f64.max(1e-4 / ((iter + 1) as f64).powf(1.3)) * norm2(&rhs).max(1.0);
-            let cg_res = cg_best_effort(&op, &rhs, &x, cg_tol, st.cg_max_iter, Some(&diag));
-            x = cg_res.x;
+            cg_best_effort_with(&op, &rhs, &mut x, cg_tol, st.cg_max_iter, Some(&diag), &mut cg_ws);
 
             // ---- over-relaxation on Ax
             a.matvec_into(&x, &mut ax);
-            let mut ax_or = vec![0.0; m];
             for i in 0..m {
                 ax_or[i] = st.alpha * ax[i] + (1.0 - st.alpha) * (b[i] - s[i]);
             }
 
-            // ---- s-update: project b − Ax̂ − y/ρ
-            let mut v = vec![0.0; m];
+            // ---- s-update: project b − Ax̂ − y/ρ (s is not read again
+            // this iteration, so the projection input overwrites it)
             for i in 0..m {
-                v[i] = b[i] - ax_or[i] - y[i] / rho;
+                s[i] = b[i] - ax_or[i] - y[i] / rho;
             }
-            s = v;
             project_product(&program.cones, &mut s);
 
             // ---- y-update
@@ -259,14 +262,13 @@ impl AdmmSolver {
             // ---- convergence check (in unscaled space)
             if iter % st.check_interval == 0 || iter == st.max_iter {
                 // primal residual: D⁻¹ (Ax + s − b)
-                let mut pr = vec![0.0; m];
                 for i in 0..m {
                     pr[i] = (ax[i] + s[i] - b[i]) / (eq.d[i] * sb);
                 }
                 pri_rel = norm2(&pr) / (1.0 + norm_b_unscaled);
 
                 // dual residual: E⁻¹ (Aᵀỹ + c̃)  — note c̃ = E c so this is Aᵀy + c.
-                let mut aty = a.matvec_transpose(&y);
+                a.matvec_transpose_into(&y, &mut aty);
                 for j in 0..d {
                     aty[j] = (aty[j] + c[j]) / (eq.e[j] * sc);
                 }

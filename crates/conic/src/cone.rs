@@ -1,5 +1,6 @@
-use gfp_linalg::svec::{smat, svec, svec_len};
-use gfp_linalg::{eigh, vec_ops};
+use gfp_linalg::svec::{smat, svec_into, svec_len};
+use gfp_linalg::{eigh, spectral_accumulate, vec_ops};
+use gfp_telemetry as telemetry;
 
 /// One factor of the Cartesian product cone `K`.
 ///
@@ -117,51 +118,195 @@ fn project_soc(v: &mut [f64], n: usize) {
     }
 }
 
+/// Gershgorin screen for a symmetric matrix: `Some(true)` when every
+/// disc lies in `λ ≥ 0` (provably PSD), `Some(false)` when every disc
+/// lies in `λ ≤ 0` (provably NSD), `None` when inconclusive.
+fn gershgorin_sign(m: &gfp_linalg::Mat) -> Option<bool> {
+    let n = m.nrows();
+    let mut all_psd = true;
+    let mut all_nsd = true;
+    for i in 0..n {
+        let mut radius = 0.0;
+        for (j, &mij) in m.row(i).iter().enumerate() {
+            if j != i {
+                radius += mij.abs();
+            }
+        }
+        let d = m[(i, i)];
+        if d - radius < 0.0 {
+            all_psd = false;
+        }
+        if d + radius > 0.0 {
+            all_nsd = false;
+        }
+        if !all_psd && !all_nsd {
+            return None;
+        }
+    }
+    if all_psd {
+        Some(true)
+    } else {
+        Some(false)
+    }
+}
+
 fn project_psd(v: &mut [f64], n: usize) {
     if n == 0 {
         return;
     }
+    let timer = if telemetry::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let m = smat(v);
+    // O(n²) Gershgorin screen before the O(n³) eigendecomposition:
+    // a provably PSD block projects to itself, a provably NSD block
+    // to the origin.
+    match gershgorin_sign(&m) {
+        Some(true) => {
+            record_psd(timer, "gershgorin_psd");
+            return;
+        }
+        Some(false) => {
+            v.fill(0.0);
+            record_psd(timer, "gershgorin_nsd");
+            return;
+        }
+        None => {}
+    }
     let e = eigh(&m).expect("psd projection eigendecomposition");
-    let mut out = gfp_linalg::Mat::zeros(n, n);
-    for k in 0..n {
-        let lam = e.values[k];
-        if lam <= 0.0 {
-            continue;
+    // Eigenvalues ascend: negatives occupy a prefix, positives a
+    // suffix. Reconstruct from whichever side is smaller:
+    //   P = Σ_{λ>0} λ v vᵀ            (positive side), or
+    //   P = M + Σ_{λ<0} (−λ) v vᵀ     (negative side).
+    let nneg = e.values.iter().take_while(|&&l| l < 0.0).count();
+    let npos = e.values.iter().rev().take_while(|&&l| l > 0.0).count();
+    if npos == 0 {
+        v.fill(0.0);
+        record_psd(timer, "all_nonpos");
+        return;
+    }
+    if nneg == 0 {
+        record_psd(timer, "all_nonneg");
+        return;
+    }
+    const DIRECT_MAX_N: usize = 32;
+    let out = if n < DIRECT_MAX_N {
+        // Small blocks: the banded panel kernel's setup cost exceeds
+        // the O(n³) work, so accumulate the positive side directly.
+        let mut out = gfp_linalg::Mat::zeros(n, n);
+        for k in n - npos..n {
+            let lam = e.values[k];
+            for i in 0..n {
+                let vik = e.vectors[(i, k)];
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..=i {
+                    out[(i, j)] += lam * vik * e.vectors[(j, k)];
+                }
+            }
         }
         for i in 0..n {
-            let vik = e.vectors[(i, k)];
-            if vik == 0.0 {
-                continue;
-            }
-            for j in 0..=i {
-                out[(i, j)] += lam * vik * e.vectors[(j, k)];
+            for j in 0..i {
+                out[(j, i)] = out[(i, j)];
             }
         }
-    }
-    // mirror the computed lower triangle
-    for i in 0..n {
-        for j in 0..i {
-            out[(j, i)] = out[(i, j)];
-        }
-    }
-    v.copy_from_slice(&svec(&out));
+        out
+    } else if npos <= nneg {
+        spectral_accumulate(&e.vectors, &e.values, n - npos..n, None)
+    } else {
+        let negated: Vec<f64> = e.values.iter().map(|&l| -l).collect();
+        spectral_accumulate(&e.vectors, &negated, 0..nneg, Some(&m))
+    };
+    svec_into(&out, v);
+    record_psd(timer, "eigh");
 }
+
+/// Telemetry for one finished PSD projection, tagged by which path
+/// resolved it.
+fn record_psd(timer: Option<std::time::Instant>, path: &'static str) {
+    let Some(t0) = timer else { return };
+    telemetry::counter_add("kernel.project_psd.calls", 1);
+    telemetry::counter_add("kernel.project_psd.micros", t0.elapsed().as_micros() as u64);
+    match path {
+        "gershgorin_psd" | "gershgorin_nsd" => {
+            telemetry::counter_add("kernel.project_psd.gershgorin_hits", 1);
+        }
+        _ => {}
+    }
+}
+
+/// Minimum number of slack slots per parallel projection batch. Keeps
+/// tiny cone products on the caller thread where pool dispatch would
+/// dominate.
+const PROJECT_BATCH_MIN_SLOTS: usize = 1024;
 
 /// Projects a stacked slack vector onto the product of `cones`, block
 /// by block, in place.
+///
+/// Cone blocks are independent, so batches of contiguous blocks run as
+/// pool jobs when the product is large enough; each slot is written by
+/// exactly one job and every block sees the same per-block arithmetic
+/// as the sequential path, so results are bitwise identical at any
+/// worker count. PSD blocks may additionally parallelize internally
+/// (`eigh`, spectral reconstruction); the pool's helping join makes
+/// that nesting safe.
 ///
 /// # Panics
 ///
 /// Panics if `v.len()` differs from the total cone dimension.
 pub(crate) fn project_product(cones: &[Cone], v: &mut [f64]) {
+    let total: usize = cones.iter().map(Cone::dim).sum();
+    assert_eq!(total, v.len(), "cone product dimension mismatch");
+    let nthreads = gfp_parallel::current_num_threads();
+    if nthreads == 1 || cones.len() <= 1 || total < 2 * PROJECT_BATCH_MIN_SLOTS {
+        project_product_seq(cones, v);
+        return;
+    }
+    // Greedily group contiguous cones into batches of roughly equal
+    // slot counts. Batch boundaries depend only on the cone list and
+    // thread count, never on data values.
+    let target = (total / (nthreads * 2)).max(PROJECT_BATCH_MIN_SLOTS);
+    let mut batches: Vec<(usize, usize, usize)> = Vec::new(); // (cone_lo, cone_hi, slots)
+    let mut lo = 0;
+    let mut slots = 0;
+    for (ci, cone) in cones.iter().enumerate() {
+        slots += cone.dim();
+        if slots >= target {
+            batches.push((lo, ci + 1, slots));
+            lo = ci + 1;
+            slots = 0;
+        }
+    }
+    if lo < cones.len() {
+        batches.push((lo, cones.len(), slots));
+    }
+    if batches.len() <= 1 {
+        project_product_seq(cones, v);
+        return;
+    }
+    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(batches.len());
+    let mut rest = v;
+    for &(_, _, nslots) in &batches {
+        let (head, tail) = rest.split_at_mut(nslots);
+        slices.push(head);
+        rest = tail;
+    }
+    gfp_parallel::parallel_for_each_chunk(slices, |bi, chunk| {
+        let (clo, chi, _) = batches[bi];
+        project_product_seq(&cones[clo..chi], chunk);
+    });
+}
+
+fn project_product_seq(cones: &[Cone], v: &mut [f64]) {
     let mut offset = 0;
     for cone in cones {
         let d = cone.dim();
         cone.project(&mut v[offset..offset + d]);
         offset += d;
     }
-    assert_eq!(offset, v.len(), "cone product dimension mismatch");
 }
 
 /// Total dimension of a product of cones.
@@ -172,6 +317,7 @@ pub(crate) fn total_dim(cones: &[Cone]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gfp_linalg::svec::svec;
     use gfp_linalg::Mat;
 
     #[test]

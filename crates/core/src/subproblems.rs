@@ -94,26 +94,12 @@ pub fn solve_subproblem2(z_mat: &Mat, n: usize) -> Result<(Mat, f64), FloorplanE
     let nn = n + 2;
     assert_eq!(z_mat.nrows(), nn, "Z must be (n+2)x(n+2)");
     let e = eigh(z_mat)?;
-    // Eigenvalues ascend: the first n are the smallest.
-    let mut w = Mat::zeros(nn, nn);
-    let mut gap = 0.0;
-    for k in 0..n {
-        gap += e.values[k];
-        for i in 0..nn {
-            let vik = e.vectors[(i, k)];
-            if vik == 0.0 {
-                continue;
-            }
-            for j in 0..=i {
-                w[(i, j)] += vik * e.vectors[(j, k)];
-            }
-        }
-    }
-    for i in 0..nn {
-        for j in 0..i {
-            w[(j, i)] = w[(i, j)];
-        }
-    }
+    // Eigenvalues ascend: the first n are the smallest. W = U Uᵀ is a
+    // unit-weight spectral sum over those columns; the shared banded
+    // kernel parallelizes it on the gfp-parallel pool.
+    let gap: f64 = e.values[..n].iter().sum();
+    let ones = vec![1.0; e.values.len()];
+    let w = gfp_linalg::spectral_accumulate(&e.vectors, &ones, 0..n, None);
     Ok((w, gap))
 }
 

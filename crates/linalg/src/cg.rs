@@ -104,55 +104,108 @@ pub fn cg_best_effort(
     max_iter: usize,
     precond_diag: Option<&[f64]>,
 ) -> CgResult {
+    let mut x = x0.to_vec();
+    let mut ws = CgWorkspace::new(op.dim());
+    let (iterations, residual) =
+        cg_best_effort_with(op, b, &mut x, tol, max_iter, precond_diag, &mut ws);
+    CgResult {
+        x,
+        iterations,
+        residual,
+    }
+}
+
+/// Scratch buffers reused across repeated [`cg_best_effort_with`]
+/// calls, eliminating the five per-call `Vec` allocations (plus one
+/// per iteration) that [`cg_best_effort`] pays.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    ax: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Creates a workspace sized for dimension-`n` solves.
+    pub fn new(n: usize) -> Self {
+        CgWorkspace {
+            ax: vec![0.0; n],
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        for buf in [&mut self.ax, &mut self.r, &mut self.z, &mut self.p, &mut self.ap] {
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
+/// Allocation-free core of [`cg_best_effort`]: starts from the value
+/// in `x`, refines it in place and returns `(iterations, residual)`.
+/// Identical arithmetic to the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x.len()` differ from `op.dim()`.
+pub fn cg_best_effort_with(
+    op: &dyn LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    precond_diag: Option<&[f64]>,
+    ws: &mut CgWorkspace,
+) -> (usize, f64) {
     let n = op.dim();
     assert_eq!(b.len(), n, "cg: rhs length mismatch");
-    assert_eq!(x0.len(), n, "cg: x0 length mismatch");
-    let mut x = x0.to_vec();
-    let mut ax = vec![0.0; n];
-    op.apply(&x, &mut ax);
-    let mut r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
-    let apply_precond = |r: &[f64]| -> Vec<f64> {
-        match precond_diag {
-            Some(d) => r
-                .iter()
-                .zip(d.iter())
-                .map(|(ri, di)| if *di > 0.0 { ri / di } else { *ri })
-                .collect(),
-            None => r.to_vec(),
+    assert_eq!(x.len(), n, "cg: x0 length mismatch");
+    ws.resize(n);
+    let CgWorkspace { ax, r, z, p, ap } = ws;
+    op.apply(x, ax);
+    for ((ri, bi), ai) in r.iter_mut().zip(b.iter()).zip(ax.iter()) {
+        *ri = bi - ai;
+    }
+    let apply_precond = |r: &[f64], z: &mut [f64]| match precond_diag {
+        Some(d) => {
+            for ((zi, ri), di) in z.iter_mut().zip(r.iter()).zip(d.iter()) {
+                *zi = if *di > 0.0 { ri / di } else { *ri };
+            }
         }
+        None => z.copy_from_slice(r),
     };
-    let mut z = apply_precond(&r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut res_norm = norm2(&r);
+    apply_precond(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
+    let mut res_norm = norm2(r);
     let mut iterations = 0;
-    let mut ap = vec![0.0; n];
     while res_norm > tol && iterations < max_iter {
-        op.apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        op.apply(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 {
             // Negative curvature or breakdown: the operator is not PSD in
             // this direction (or we hit round-off); stop with current x.
             break;
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        z = apply_precond(&r);
-        let rz_new = dot(&r, &z);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        apply_precond(r, z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
         for (pi, &zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
-        res_norm = norm2(&r);
+        res_norm = norm2(r);
         iterations += 1;
     }
-    CgResult {
-        x,
-        iterations,
-        residual: res_norm,
-    }
+    (iterations, res_norm)
 }
 
 #[cfg(test)]

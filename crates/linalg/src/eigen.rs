@@ -65,6 +65,7 @@ pub fn eigh(a: &Mat) -> Result<Eigh, LinalgError> {
             vectors: Mat::zeros(0, 0),
         });
     }
+    let timer = crate::kernel_timer();
     // Work on a symmetrized copy so callers may pass nearly-symmetric input.
     let mut z = a.clone();
     z.symmetrize_mut();
@@ -73,10 +74,60 @@ pub fn eigh(a: &Mat) -> Result<Eigh, LinalgError> {
     tred2(&mut z, &mut d, &mut e);
     tqli(&mut d, &mut e, &mut z)?;
     sort_eigenpairs(&mut d, &mut z);
+    crate::kernel_record("eigh", timer);
     Ok(Eigh {
         values: d,
         vectors: z,
     })
+}
+
+/// Trailing-submatrix size from which the Householder sweep and the
+/// eigenvector back-transformation fan out to the pool. Below this,
+/// per-job overhead outweighs the O(m²) step cost.
+const TRED2_PARALLEL_MIN: usize = 128;
+
+/// Rows/columns per parallel chunk inside `tred2`.
+const TRED2_GRAIN: usize = 16;
+
+/// Should a step over `m` rows run on the pool?
+fn par_ok(m: usize) -> bool {
+    m >= TRED2_PARALLEL_MIN && gfp_parallel::current_num_threads() > 1
+}
+
+/// Shareable raw view of a matrix buffer for pool jobs that write
+/// provably disjoint elements (different rows, or different columns).
+///
+/// SAFETY: every use below partitions the index space so that no two
+/// jobs write the same element and nothing written by one job is read
+/// by another within the same parallel region.
+#[derive(Clone, Copy)]
+struct RawMat(*mut f64, usize);
+unsafe impl Send for RawMat {}
+unsafe impl Sync for RawMat {}
+
+impl RawMat {
+    #[inline]
+    unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        *self.0.add(i * self.1 + j)
+    }
+    #[inline]
+    unsafe fn at(&self, i: usize, j: usize) -> *mut f64 {
+        self.0.add(i * self.1 + j)
+    }
+}
+
+/// Shareable raw view of a vector buffer; same disjointness contract
+/// as [`RawMat`].
+#[derive(Clone, Copy)]
+struct RawVec(*mut f64);
+unsafe impl Send for RawVec {}
+unsafe impl Sync for RawVec {}
+
+impl RawVec {
+    #[inline]
+    unsafe fn at(&self, i: usize) -> *mut f64 {
+        self.0.add(i)
+    }
 }
 
 /// Computes only the eigenvalues of a symmetric matrix (ascending).
@@ -98,8 +149,16 @@ pub fn eigvalsh(a: &Mat) -> Result<Vec<f64>, LinalgError> {
 /// On exit `a` holds the accumulated orthogonal transformation `Q`
 /// (so that `Qᵀ A Q` is tridiagonal), `d` the diagonal and `e` the
 /// subdiagonal (`e\[0\]` unused).
+///
+/// The two O(m²) trailing-submatrix phases of each Householder step
+/// and the O(n³) eigenvector back-transformation run on the pool for
+/// trailing sizes ≥ `TRED2_PARALLEL_MIN`. Every matrix element is
+/// written by exactly one chunk and accumulated in the same order as
+/// the serial loop, so the factorization is bitwise independent of
+/// the worker count.
 fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
     let n = a.nrows();
+    let ncols = a.ncols();
     for i in (1..n).rev() {
         let l = i - 1;
         let mut h = 0.0;
@@ -120,27 +179,66 @@ fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
                 e[i] = scale * g;
                 h -= f * g;
                 a[(i, l)] = f - g;
+                // Phase A: e[j] <- (A u)_j / h and the stored column
+                // a[(j,i)] <- a[(i,j)] / h. Each j writes only e[j]
+                // and a[(j,i)] and reads rows/columns no other j
+                // writes, so the loop fans out over j.
+                {
+                    let am = RawMat(a.as_mut_slice().as_mut_ptr(), ncols);
+                    let ev = RawVec(e.as_mut_ptr());
+                    let body = |range: std::ops::Range<usize>| unsafe {
+                        for j in range {
+                            let aij = am.get(i, j);
+                            *am.at(j, i) = aij / h;
+                            let mut g = 0.0;
+                            for k in 0..=j {
+                                g += am.get(j, k) * am.get(i, k);
+                            }
+                            for k in (j + 1)..=l {
+                                g += am.get(k, j) * am.get(i, k);
+                            }
+                            *ev.at(j) = g / h;
+                        }
+                    };
+                    if par_ok(l + 1) {
+                        gfp_parallel::parallel_for(l + 1, TRED2_GRAIN, body);
+                    } else {
+                        body(0..l + 1);
+                    }
+                }
+                // Scalar reduction f = Σ e[j]·a[(i,j)] stays
+                // sequential in ascending j — the fixed association
+                // order the determinism contract requires.
                 f = 0.0;
                 for j in 0..=l {
-                    a[(j, i)] = a[(i, j)] / h;
-                    let mut g = 0.0;
-                    for k in 0..=j {
-                        g += a[(j, k)] * a[(i, k)];
-                    }
-                    for k in (j + 1)..=l {
-                        g += a[(k, j)] * a[(i, k)];
-                    }
-                    e[j] = g / h;
                     f += e[j] * a[(i, j)];
                 }
                 let hh = f / (h + h);
                 for j in 0..=l {
-                    let f = a[(i, j)];
-                    let g = e[j] - hh * f;
-                    e[j] = g;
-                    for k in 0..=j {
-                        let delta = f * e[k] + g * a[(i, k)];
-                        a[(j, k)] -= delta;
+                    e[j] -= hh * a[(i, j)];
+                }
+                // Phase B: symmetric rank-2 update of the trailing
+                // submatrix, one disjoint row per j. The serial
+                // original interleaved the e[j] update with the row
+                // update; with e fully updated first (above), each
+                // row computes the exact same expression.
+                {
+                    let am = RawMat(a.as_mut_slice().as_mut_ptr(), ncols);
+                    let er: &[f64] = e;
+                    let body = |range: std::ops::Range<usize>| unsafe {
+                        for j in range {
+                            let fj = am.get(i, j);
+                            let gj = er[j];
+                            for k in 0..=j {
+                                let delta = fj * er[k] + gj * am.get(i, k);
+                                *am.at(j, k) -= delta;
+                            }
+                        }
+                    };
+                    if par_ok(l + 1) {
+                        gfp_parallel::parallel_for(l + 1, TRED2_GRAIN, body);
+                    } else {
+                        body(0..l + 1);
                     }
                 }
             }
@@ -151,17 +249,29 @@ fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
     }
     d[0] = 0.0;
     e[0] = 0.0;
+    // Back-transformation: accumulate Q by applying each stored
+    // Householder reflector to the columns built so far. Column j is
+    // read and written only by its own chunk; row i and column i are
+    // untouched inputs.
     for i in 0..n {
         if d[i] != 0.0 {
-            for j in 0..i {
-                let mut g = 0.0;
-                for k in 0..i {
-                    g += a[(i, k)] * a[(k, j)];
+            let am = RawMat(a.as_mut_slice().as_mut_ptr(), ncols);
+            let body = |range: std::ops::Range<usize>| unsafe {
+                for j in range {
+                    let mut g = 0.0;
+                    for k in 0..i {
+                        g += am.get(i, k) * am.get(k, j);
+                    }
+                    for k in 0..i {
+                        let delta = g * am.get(k, i);
+                        *am.at(k, j) -= delta;
+                    }
                 }
-                for k in 0..i {
-                    let delta = g * a[(k, i)];
-                    a[(k, j)] -= delta;
-                }
+            };
+            if par_ok(i) {
+                gfp_parallel::parallel_for(i, TRED2_GRAIN, body);
+            } else {
+                body(0..i);
             }
         }
         d[i] = a[(i, i)];
@@ -246,6 +356,87 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Mat) -> Result<(), LinalgError> {
         }
     }
     Ok(())
+}
+
+/// Computes `base + Σ_{k ∈ cols} weights[k] · v_k v_kᵀ`, where `v_k`
+/// is column `k` of `vectors` — the spectral reconstruction shared by
+/// the PSD-cone projection (`V·diag(max(λ,0))·Vᵀ`) and the direction
+/// matrix `W = U Uᵀ` of Eq. 19.
+///
+/// The n² entry sums run as independent row bands on the pool, each
+/// accumulating over `k` in ascending order, so the result is bitwise
+/// identical for every worker count. Only the lower triangle is
+/// computed; the upper is mirrored.
+///
+/// # Panics
+///
+/// Panics if `cols` exceeds the column count, `weights` is shorter
+/// than `cols.end`, or `base` has the wrong shape.
+pub fn spectral_accumulate(
+    vectors: &Mat,
+    weights: &[f64],
+    cols: std::ops::Range<usize>,
+    base: Option<&Mat>,
+) -> Mat {
+    let n = vectors.nrows();
+    assert!(
+        cols.end <= vectors.ncols() && weights.len() >= cols.end,
+        "spectral_accumulate: column range out of bounds"
+    );
+    let timer = crate::kernel_timer();
+    let mut out = match base {
+        Some(b) => {
+            assert_eq!(
+                (b.nrows(), b.ncols()),
+                (n, n),
+                "spectral_accumulate: base shape mismatch"
+            );
+            b.clone()
+        }
+        None => Mat::zeros(n, n),
+    };
+    let p = cols.len();
+    if p == 0 || n == 0 {
+        crate::kernel_record("spectral_accumulate", timer);
+        return out;
+    }
+    // Row-major panels of the selected columns: `plain` holds V[:, cols],
+    // `scaled` the same columns pre-multiplied by their weights. Entry
+    // (i,j) then becomes a contiguous dot product of two panel rows.
+    let mut plain = vec![0.0; n * p];
+    let mut scaled = vec![0.0; n * p];
+    for i in 0..n {
+        for (t, k) in cols.clone().enumerate() {
+            let v = vectors[(i, k)];
+            plain[i * p + t] = v;
+            scaled[i * p + t] = weights[k] * v;
+        }
+    }
+    const BAND_ROWS: usize = 16;
+    {
+        let bands: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(BAND_ROWS * n).collect();
+        gfp_parallel::parallel_for_each_chunk(bands, |band_idx, band| {
+            let row0 = band_idx * BAND_ROWS;
+            let band_rows = band.len() / n;
+            for bi in 0..band_rows {
+                let i = row0 + bi;
+                let srow = &scaled[i * p..(i + 1) * p];
+                let orow = &mut band[bi * n..(bi + 1) * n];
+                for (j, oj) in orow.iter_mut().enumerate().take(i + 1) {
+                    let prow = &plain[j * p..(j + 1) * p];
+                    let s: f64 = srow.iter().zip(prow.iter()).map(|(a, b)| a * b).sum();
+                    *oj += s;
+                }
+            }
+        });
+    }
+    for i in 0..n {
+        for j in 0..i {
+            out[(j, i)] = out[(i, j)];
+        }
+    }
+    crate::kernel_record("spectral_accumulate", timer);
+    out
 }
 
 /// Sorts eigenvalues ascending and permutes the eigenvector columns to match.

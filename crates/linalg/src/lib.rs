@@ -8,7 +8,11 @@
 //! ([`cg::cg`]) and the scaled symmetric vectorization used by the
 //! conic solver ([`svec::svec`] / [`svec::smat`]).
 //!
-//! Everything is `f64`, dependency-free and deterministic.
+//! Everything is `f64` and deterministic: the hot kernels
+//! ([`Mat::matmul`], [`eigh`], [`spectral_accumulate`]) are
+//! parallelized over the std-only `gfp-parallel` pool, but every
+//! floating-point accumulation keeps a fixed association order, so
+//! results are bitwise identical for every `GFP_THREADS` setting.
 //!
 //! # Example
 //!
@@ -37,8 +41,40 @@ pub mod svec;
 pub mod vec_ops;
 
 pub use chol::{Cholesky, Ldlt};
-pub use eigen::{eigh, eigvalsh, Eigh};
+pub use eigen::{eigh, eigvalsh, spectral_accumulate, Eigh};
 pub use error::LinalgError;
 pub use lu::Lu;
-pub use mat::Mat;
+pub use mat::{Mat, MATMUL_PARALLEL_FLOPS};
 pub use qr::Qr;
+
+/// Starts a wall-clock sample for a kernel-level telemetry counter,
+/// but only when telemetry is enabled (zero cost otherwise).
+pub(crate) fn kernel_timer() -> Option<std::time::Instant> {
+    if gfp_telemetry::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Finishes a [`kernel_timer`] sample: bumps `kernel.<kind>.calls`
+/// and accumulates wall time into `kernel.<kind>.micros`.
+pub(crate) fn kernel_record(kind: &'static str, timer: Option<std::time::Instant>) {
+    let Some(t0) = timer else { return };
+    let micros = t0.elapsed().as_micros() as u64;
+    match kind {
+        "matmul" => {
+            gfp_telemetry::counter_add("kernel.matmul.calls", 1);
+            gfp_telemetry::counter_add("kernel.matmul.micros", micros);
+        }
+        "eigh" => {
+            gfp_telemetry::counter_add("kernel.eigh.calls", 1);
+            gfp_telemetry::counter_add("kernel.eigh.micros", micros);
+        }
+        "spectral_accumulate" => {
+            gfp_telemetry::counter_add("kernel.spectral_accumulate.calls", 1);
+            gfp_telemetry::counter_add("kernel.spectral_accumulate.micros", micros);
+        }
+        _ => {}
+    }
+}

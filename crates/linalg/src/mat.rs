@@ -5,9 +5,10 @@ use crate::LinalgError;
 
 /// A dense, row-major `f64` matrix.
 ///
-/// `Mat` is the workhorse dense type of the workspace. It favours clarity
-/// over raw BLAS speed; the sizes that occur in global floorplanning
-/// (a few hundred rows) are comfortably handled.
+/// `Mat` is the workhorse dense type of the workspace. Products large
+/// enough to matter run through a cache-blocked kernel parallelized
+/// over row bands of the output (see [`Mat::matmul_into`]); results
+/// are bitwise independent of the worker count.
 ///
 /// # Example
 ///
@@ -141,30 +142,80 @@ impl Mat {
 
     /// Dense matrix product `self * rhs`.
     ///
+    /// Dispatches to a cache-blocked, row-band-parallel kernel for
+    /// large products and a plain i-k-j loop below
+    /// [`MATMUL_PARALLEL_FLOPS`]; both accumulate each output entry
+    /// in ascending-`k` order, so the result is bitwise identical for
+    /// every `GFP_THREADS` setting (see [`Mat::matmul_into`]).
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions do not agree.
     pub fn matmul(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Dense matrix product written into a pre-allocated `out`
+    /// (overwritten), avoiding the allocation of [`Mat::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions do not agree or `out` has the wrong
+    /// shape.
+    pub fn matmul_into(&self, rhs: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: inner dimensions must agree ({}x{} * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Mat::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += aik * r;
-                }
-            }
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul: output shape mismatch"
+        );
+        let timer = crate::kernel_timer();
+        out.data.fill(0.0);
+        let flops = self.rows * self.cols * rhs.cols;
+        if flops < MATMUL_PARALLEL_FLOPS || gfp_parallel::current_num_threads() == 1 {
+            matmul_band(
+                self.cols,
+                rhs.cols,
+                &self.data,
+                &rhs.data,
+                0,
+                self.rows,
+                &mut out.data,
+            );
+        } else {
+            let ncols = rhs.cols;
+            let bands: Vec<&mut [f64]> = out.data.chunks_mut(MATMUL_BAND_ROWS * ncols).collect();
+            gfp_parallel::parallel_for_each_chunk(bands, |band_idx, band| {
+                let row0 = band_idx * MATMUL_BAND_ROWS;
+                let band_rows = band.len() / ncols.max(1);
+                matmul_band(self.cols, ncols, &self.data, &rhs.data, row0, band_rows, band);
+            });
         }
-        out
+        crate::kernel_record("matmul", timer);
+    }
+
+    /// Matrix-vector product writing into a pre-allocated buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self
+                .row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+        }
     }
 
     /// Matrix-vector product `self * x`.
@@ -173,16 +224,9 @@ impl Mat {
     ///
     /// Panics if `x.len() != self.ncols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect()
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
@@ -345,6 +389,51 @@ impl Mat {
             });
         }
         Ok(())
+    }
+}
+
+/// Flop threshold (`m·k·n`) below which `matmul` stays on one thread.
+pub const MATMUL_PARALLEL_FLOPS: usize = 64 * 64 * 64;
+
+/// Rows per parallel output band of the blocked matmul.
+const MATMUL_BAND_ROWS: usize = 16;
+
+/// Columns of the left factor swept per cache block.
+const MATMUL_BLOCK_K: usize = 64;
+
+/// Computes `band_rows` rows of the product starting at `row0`,
+/// writing into the (zeroed) `out` band.
+///
+/// The `k` loop is tiled for cache reuse of `b`'s rows, but each
+/// output entry still accumulates in ascending-`k` order — tiles are
+/// visited in order and `k` ascends inside a tile — so the serial and
+/// banded-parallel paths produce bitwise-identical results.
+fn matmul_band(
+    inner: usize,
+    ncols: usize,
+    a: &[f64],
+    b: &[f64],
+    row0: usize,
+    band_rows: usize,
+    out: &mut [f64],
+) {
+    let mut kk = 0;
+    while kk < inner {
+        let kend = (kk + MATMUL_BLOCK_K).min(inner);
+        for bi in 0..band_rows {
+            let arow = &a[(row0 + bi) * inner..(row0 + bi + 1) * inner];
+            let orow = &mut out[bi * ncols..(bi + 1) * ncols];
+            for (k, &aik) in arow.iter().enumerate().take(kend).skip(kk) {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[k * ncols..(k + 1) * ncols];
+                for (o, &r) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        kk = kend;
     }
 }
 

@@ -6,6 +6,10 @@
 
 use crate::Mat;
 
+/// Nonzero count from which [`CsrMat::matvec_into`] fans row blocks
+/// out to the pool.
+pub const CSR_PARALLEL_NNZ: usize = 8192;
+
 /// A compressed sparse row matrix.
 ///
 /// # Example
@@ -116,18 +120,39 @@ impl CsrMat {
 
     /// Matrix-vector product writing into a pre-allocated buffer.
     ///
+    /// Row blocks run on the `gfp-parallel` pool when the matrix has
+    /// at least [`CSR_PARALLEL_NNZ`] nonzeros; each `y[i]` is one
+    /// fixed-order row sum computed by exactly one job, so the result
+    /// is bitwise identical at every worker count.
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
-        for i in 0..self.rows {
+        let nthreads = gfp_parallel::current_num_threads();
+        if self.nnz() < CSR_PARALLEL_NNZ || nthreads == 1 || self.rows < 2 {
+            self.matvec_rows(x, y, 0);
+            return;
+        }
+        let grain = self.rows.div_ceil(nthreads * 4).max(32);
+        let chunks: Vec<&mut [f64]> = y.chunks_mut(grain).collect();
+        gfp_parallel::parallel_for_each_chunk(chunks, |ci, ychunk| {
+            self.matvec_rows(x, ychunk, ci * grain);
+        });
+    }
+
+    /// Computes `y[off + r] = (A x)[row0 + r]` for the rows covered by
+    /// the `y` slice.
+    fn matvec_rows(&self, x: &[f64], y: &mut [f64], row0: usize) {
+        for (off, yi) in y.iter_mut().enumerate() {
+            let i = row0 + off;
             let mut s = 0.0;
             for k in self.indptr[i]..self.indptr[i + 1] {
                 s += self.values[k] * x[self.indices[k]];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
@@ -143,6 +168,11 @@ impl CsrMat {
     }
 
     /// Transposed product writing into a pre-allocated buffer.
+    ///
+    /// Deliberately sequential: the CSR scatter writes `x` in
+    /// row-major nonzero order, and any parallel partitioning would
+    /// either race or change the accumulation order and break the
+    /// bitwise determinism contract.
     ///
     /// # Panics
     ///

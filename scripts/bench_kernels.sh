@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the tracked kernel benchmark baseline BENCH_kernels.json
+# at the repo root (matmul / eigh / project_psd at n ∈ {50, 100, 200},
+# serial vs parallel, with bitwise-match verification).
+#
+# Usage:
+#   scripts/bench_kernels.sh            # full baseline, release build
+#   scripts/bench_kernels.sh --smoke    # quick CI smoke run, writes to
+#                                       # target/BENCH_kernels.smoke.json
+#
+# GFP_THREADS sets the parallel pool width (default 4). Wall-clock
+# speedups require real cores; on a single-CPU host the numbers record
+# the (small) pool overhead honestly and the bitwise check still runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p gfp-bench --bin bench_kernels -- "$@"

@@ -14,6 +14,16 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== workspace tests (GFP_THREADS=2) =="
+# Re-run the kernel-heavy crates with a 2-worker pool: exercises the
+# parallel dispatch paths and the bitwise determinism contract.
+GFP_THREADS=2 cargo test -q -p gfp-parallel -p gfp-linalg -p gfp-conic
+
+echo "== kernel bench (smoke) =="
+# Quick serial-vs-parallel run of the hot kernels; asserts bitwise
+# identical outputs and writes target/BENCH_kernels.smoke.json.
+scripts/bench_kernels.sh --smoke
+
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     # Warnings are reported but only hard errors fail the gate (the

@@ -11,6 +11,7 @@ use gfp_baselines::qp::QuadraticPlacer;
 use gfp_core::enhance::Enhancements;
 use gfp_core::{
     FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner,
+    SolveSupervisor,
 };
 use gfp_legalize::{legalize, LegalizeSettings};
 use gfp_netlist::suite::Benchmark;
@@ -182,6 +183,26 @@ impl Pipeline {
                 r
             }
         }
+    }
+
+    /// Ours behind the [`SolveSupervisor`]: same pipeline as
+    /// [`run_sdp_with`](Self::run_sdp_with), but the solve never fails —
+    /// budget/numerical breakdowns degrade to the best-known placement
+    /// and the method name carries the quality verdict (e.g.
+    /// `ours[degraded]`) so result tables surface non-clean runs.
+    pub fn run_sdp_supervised(&self, settings: FloorplannerSettings) -> MethodResult {
+        let t0 = Instant::now();
+        let result = {
+            let _span = telemetry::span("pipeline.global");
+            SolveSupervisor::new(settings).solve(&self.problem)
+        };
+        let t = t0.elapsed().as_secs_f64();
+        let method = if result.causes.is_empty() {
+            "ours".to_string()
+        } else {
+            format!("ours[{}]", result.quality.as_str())
+        };
+        self.legalize_centers(&method, &result.floorplan.positions, t)
     }
 
     /// Budget-default SDP settings for this instance.

@@ -226,8 +226,28 @@ impl AdmmSolver {
         let mut dua_rel = f64::INFINITY;
         let mut gap_rel = f64::INFINITY;
 
+        // Fault-injection state (inert unless `fault-inject` is on):
+        // `stall_injected` suppresses convergence acceptance so the
+        // budget runs out; `residual_perturb` inflates the next
+        // residual check once.
+        let mut stall_injected = false;
+        let mut residual_perturb: Option<f64> = None;
+
         let mut iter = 0;
         while iter < st.max_iter {
+            // Fault-injection hook at the (serial) iteration boundary.
+            if let Some(fired) = gfp_fault::poll(gfp_fault::Site::AdmmIter) {
+                match fired.kind {
+                    gfp_fault::FaultKind::Nan => x[0] = f64::NAN,
+                    gfp_fault::FaultKind::Inf => x[0] = f64::INFINITY,
+                    gfp_fault::FaultKind::Stall => stall_injected = true,
+                    gfp_fault::FaultKind::BudgetExhaust => break,
+                    gfp_fault::FaultKind::PerturbResidual => {
+                        residual_perturb = Some(fired.magnitude);
+                    }
+                    _ => {}
+                }
+            }
             // ---- x-update: (εI + AᵀA) x = Aᵀ(b − s − y/ρ) − c/ρ + ε x_prev
             for i in 0..m {
                 tmp[i] = b[i] - s[i] - y[i] / rho;
@@ -266,6 +286,9 @@ impl AdmmSolver {
                     pr[i] = (ax[i] + s[i] - b[i]) / (eq.d[i] * sb);
                 }
                 pri_rel = norm2(&pr) / (1.0 + norm_b_unscaled);
+                if let Some(mag) = residual_perturb.take() {
+                    pri_rel *= 1.0 + mag;
+                }
 
                 // dual residual: E⁻¹ (Aᵀỹ + c̃)  — note c̃ = E c so this is Aᵀy + c.
                 a.matvec_transpose_into(&y, &mut aty);
@@ -304,7 +327,7 @@ impl AdmmSolver {
                     );
                 }
 
-                if pri_rel < st.eps && dua_rel < st.eps && gap_rel < st.eps {
+                if !stall_injected && pri_rel < st.eps && dua_rel < st.eps && gap_rel < st.eps {
                     status = SolveStatus::Optimal;
                     iterations_used = iter;
                     break;

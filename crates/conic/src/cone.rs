@@ -175,7 +175,20 @@ fn project_psd(v: &mut [f64], n: usize) {
         }
         None => {}
     }
-    let e = eigh(&m).expect("psd projection eigendecomposition");
+    let e = match eigh(&m) {
+        Ok(e) => e,
+        Err(_) => {
+            // Poison the block instead of panicking: the solver's
+            // divergence/finiteness guards detect the NaN iterate at
+            // the next residual check and fail recoverably, which is
+            // what the supervision layer needs (an eigh breakdown here
+            // is either an injected fault or data so ill-conditioned
+            // that any "projection" would be garbage anyway).
+            v.fill(f64::NAN);
+            record_psd(timer, "eigh_failed");
+            return;
+        }
+    };
     // Eigenvalues ascend: negatives occupy a prefix, positives a
     // suffix. Reconstruct from whichever side is smaller:
     //   P = Σ_{λ>0} λ v vᵀ            (positive side), or

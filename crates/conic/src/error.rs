@@ -28,6 +28,13 @@ pub enum ConicError {
         /// Final primal residual.
         primal_residual: f64,
     },
+    /// The iterate went NaN/Inf mid-solve (ill-conditioned data or an
+    /// injected fault); failing fast here keeps the breakdown from
+    /// propagating into downstream kernels.
+    NonFinite {
+        /// Which solver stage detected the breakdown.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for ConicError {
@@ -45,6 +52,9 @@ impl fmt::Display for ConicError {
                 f,
                 "solver diverged after {iterations} iterations (primal residual {primal_residual:.3e})"
             ),
+            ConicError::NonFinite { stage } => {
+                write!(f, "non-finite iterate detected in {stage}")
+            }
         }
     }
 }

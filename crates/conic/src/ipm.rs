@@ -167,9 +167,36 @@ impl BarrierSdp {
         let mut total_newton = 0usize;
         let mut centerings = 0usize;
         loop {
+            // Fault-injection hook at the (serial) centering boundary.
+            let mut stall_this_round = false;
+            let mut budget_cut = false;
+            if let Some(fired) = gfp_fault::poll(gfp_fault::Site::IpmNewton) {
+                match fired.kind {
+                    gfp_fault::FaultKind::Nan => x[0] = f64::NAN,
+                    gfp_fault::FaultKind::Inf => x[0] = f64::INFINITY,
+                    gfp_fault::FaultKind::Stall => stall_this_round = true,
+                    gfp_fault::FaultKind::BudgetExhaust => budget_cut = true,
+                    gfp_fault::FaultKind::PerturbResidual => {
+                        x[0] += fired.magnitude * (1.0 + x[0].abs());
+                    }
+                    _ => {}
+                }
+            }
+            if budget_cut {
+                break;
+            }
+            // Breakdown guard: a NaN/Inf iterate would otherwise walk
+            // through the Newton linear algebra and come back as a
+            // silently-NaN "solution".
+            if !x.iter().all(|v| v.is_finite()) {
+                return Err(ConicError::NonFinite { stage: "ipm.center" });
+            }
             let newton = self.center(problem, &mut x, t)?;
             total_newton += newton;
             centerings += 1;
+            if !x.iter().all(|v| v.is_finite()) {
+                return Err(ConicError::NonFinite { stage: "ipm.center" });
+            }
             if telemetry::enabled() {
                 telemetry::event(
                     "ipm.center",
@@ -183,7 +210,13 @@ impl BarrierSdp {
             if m_barrier / t < self.settings.eps {
                 break;
             }
-            t *= self.settings.mu;
+            // An injected stall burns one centering round without
+            // advancing the barrier weight (progress flatlines for
+            // exactly that round — bounded because faults fire a
+            // finite number of times).
+            if !stall_this_round {
+                t *= self.settings.mu;
+            }
         }
         let objective: f64 = problem
             .c

@@ -210,6 +210,82 @@ mod tests {
         assert!((report.max_relative_violation - 1.0).abs() < 1e-12);
     }
 
+    /// A one-module problem has no pairs: the report is all zeros and
+    /// nothing divides by the (empty) bound list.
+    #[test]
+    fn single_module_netlist_has_no_pairs() {
+        use gfp_linalg::Mat;
+        let p = GlobalFloorplanProblem {
+            n: 1,
+            areas: vec![4.0],
+            radii: vec![1.0],
+            a: Mat::zeros(1, 1),
+            pad_a: Mat::zeros(1, 0),
+            pad_positions: vec![],
+            fixed: vec![None],
+            outline: None,
+            aspect_limit: 1.0,
+            margin_factor: 1.0,
+            hyperedges: vec![],
+            max_distance: vec![],
+            min_distance: vec![],
+        };
+        let report = check_distance_feasibility(&p, &[(3.0, -7.0)], 0.05);
+        assert_eq!(report.pairs, 0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.max_relative_violation, 0.0);
+        assert_eq!(quadratic_wirelength(&p, &[(3.0, -7.0)]), 0.0);
+    }
+
+    /// Exactly coincident centers of positive-area modules are the
+    /// maximal violation: relative violation 1.0, every pair counted.
+    #[test]
+    fn coincident_centers_are_maximal_violations() {
+        let b = suite::gsrc_n10();
+        let p =
+            GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+        let coincident = vec![(17.5, 17.5); 10];
+        let report = check_distance_feasibility(&p, &coincident, 0.0);
+        assert_eq!(report.violations, report.pairs);
+        assert!((report.max_relative_violation - 1.0).abs() < 1e-12);
+    }
+
+    /// The tolerance is a one-sided relative slack around
+    /// `bound * (1 - tol)`: just above is accepted, just below is
+    /// violated.
+    #[test]
+    fn tolerance_boundary_is_inclusive() {
+        use gfp_linalg::Mat;
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let p = GlobalFloorplanProblem {
+            n: 2,
+            areas: vec![4.0, 4.0],
+            radii: vec![1.0, 1.0],
+            a,
+            pad_a: Mat::zeros(2, 0),
+            pad_positions: vec![],
+            fixed: vec![None; 2],
+            outline: None,
+            aspect_limit: 1.0,
+            margin_factor: 1.0,
+            hyperedges: vec![],
+            max_distance: vec![],
+            min_distance: vec![],
+        };
+        let bound = p.distance_bounds(&p.a)[0];
+        assert!(bound > 0.0);
+        let tol = 0.1;
+        let just_above = (bound * (1.0 - tol) * (1.0 + 1e-9)).sqrt();
+        let ok = check_distance_feasibility(&p, &[(0.0, 0.0), (just_above, 0.0)], tol);
+        assert_eq!(ok.violations, 0, "distance above the slack must be accepted");
+        let just_below = (bound * (1.0 - tol) * (1.0 - 1e-6)).sqrt();
+        let bad = check_distance_feasibility(&p, &[(0.0, 0.0), (just_below, 0.0)], tol);
+        assert_eq!(bad.violations, 1, "distance below the slack must be flagged");
+        assert!(bad.max_relative_violation > 0.0);
+    }
+
     #[test]
     fn quadratic_wirelength_decreases_when_connected_modules_approach() {
         let b = suite::gsrc_n10();

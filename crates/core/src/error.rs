@@ -23,6 +23,15 @@ pub enum FloorplanError {
         /// Why.
         reason: String,
     },
+    /// An iterate went NaN/Inf or significantly indefinite mid-run.
+    /// Raised by the outer-loop guards so the supervision layer can
+    /// checkpoint-rollback instead of propagating poisoned state.
+    NumericalBreakdown {
+        /// Which pipeline stage tripped the guard.
+        stage: &'static str,
+        /// Human-readable detail.
+        reason: String,
+    },
     /// The conic solver failed.
     Conic(ConicError),
     /// A linear-algebra routine failed.
@@ -39,6 +48,9 @@ impl fmt::Display for FloorplanError {
             }
             FloorplanError::UnsupportedByBackend { backend, reason } => {
                 write!(f, "{backend} backend cannot solve this problem: {reason}")
+            }
+            FloorplanError::NumericalBreakdown { stage, reason } => {
+                write!(f, "numerical breakdown in {stage}: {reason}")
             }
             FloorplanError::Conic(e) => write!(f, "conic solver failure: {e}"),
             FloorplanError::Linalg(e) => write!(f, "linear algebra failure: {e}"),

@@ -83,6 +83,15 @@ impl FloorplannerSettings {
     /// A reduced-budget configuration for tests, demos and CI: fewer
     /// iterations and a looser ADMM tolerance. Quality is a few
     /// percent off the default; runtime is an order of magnitude down.
+    ///
+    /// These knobs only bound the *solver's own* budgets. Supervision —
+    /// wall-clock limits, backend fallback, α backtracking, and
+    /// degraded-result reporting — lives in
+    /// [`SupervisorSettings`](crate::supervisor::SupervisorSettings)
+    /// and is configured on the
+    /// [`SolveSupervisor`](crate::supervisor::SolveSupervisor), not
+    /// here; wrapping a `fast()` solve in a supervisor does not change
+    /// its iterate sequence on a healthy run.
     pub fn fast() -> Self {
         FloorplannerSettings {
             alpha0: 16.0,
@@ -118,6 +127,114 @@ pub struct IterTrace {
     pub sp1_seconds: f64,
     /// Sub-problem-1 solver status.
     pub sp1_status: SolveStatus,
+}
+
+/// The best iterate seen so far, in **normalized** coordinates.
+///
+/// Tracked across α rounds inside [`OuterState`]; rank-certified
+/// iterates are preferred over uncertified ones (see the selection
+/// rules in [`run_alpha_round`]).
+#[derive(Debug, Clone)]
+pub struct BestIterate {
+    /// Module centers in normalized (unit length-scale) coordinates.
+    pub positions: Vec<(f64, f64)>,
+    /// Quadratic wirelength in original units.
+    pub wirelength: f64,
+    /// Relative rank gap `<W, Z> / trace(Z)` of this iterate.
+    pub rel_gap: f64,
+}
+
+/// Checkpointable state of Algorithm 1's outer loop.
+///
+/// Everything the convex iteration carries between α rounds lives
+/// here: the rank penalty, the direction matrix `W`, the warm-start
+/// `svec(Z)`, the best iterate seen so far and the per-iteration
+/// trace. Cloning the struct is a checkpoint; handing the clone back
+/// to [`run_alpha_round`] resumes from it — the supervision layer
+/// ([`crate::supervisor`]) relies on this to roll back rounds whose
+/// state was poisoned by a numerical breakdown.
+#[derive(Debug, Clone)]
+pub struct OuterState {
+    /// Rank penalty for the next round.
+    pub alpha: f64,
+    /// Outer (α) rounds completed.
+    pub round: usize,
+    /// Global inner-iteration counter across rounds.
+    pub global_iter: usize,
+    /// Direction matrix carried across rounds (when
+    /// [`FloorplannerSettings::reset_direction`] is off).
+    pub carried_w: Option<Mat>,
+    /// Warm-start `svec(Z)` for the next sub-problem-1 solve.
+    pub warm_z: Option<Vec<f64>>,
+    /// Best iterate so far.
+    pub best: Option<BestIterate>,
+    /// Per-iteration trace.
+    pub trace: Vec<IterTrace>,
+    /// Whether the rank certificate has been met.
+    pub converged: bool,
+    /// α of the most recently started round.
+    pub final_alpha: f64,
+}
+
+impl OuterState {
+    /// Initial state for a **normalized** problem (see
+    /// [`GlobalFloorplanProblem::normalized`]).
+    pub fn new(problem: &GlobalFloorplanProblem, st: &FloorplannerSettings) -> Self {
+        let lift = Lift::new(problem.n);
+        // Start from a spread embedding rather than zero: the
+        // all-zero X branch is a spurious fixed point of the convex
+        // iteration (W then spans the pinned identity block, whose
+        // trace contribution cannot be reduced).
+        let warm_z = if st.warm_start {
+            Some(lift.embed_positions(&problem.spread_positions(), 0.0))
+        } else {
+            None
+        };
+        OuterState {
+            alpha: st.alpha0,
+            round: 0,
+            global_iter: 0,
+            carried_w: None,
+            warm_z,
+            best: None,
+            trace: Vec::new(),
+            converged: false,
+            final_alpha: st.alpha0,
+        }
+    }
+
+    /// Converts the state into a [`GlobalFloorplan`], scaling positions
+    /// back to original units. Returns `None` when no iterate has been
+    /// produced yet (zero iteration budget or every round failed).
+    pub fn into_floorplan(self, scale: f64) -> Option<GlobalFloorplan> {
+        let best = self.best?;
+        let mut positions = best.positions;
+        for p in &mut positions {
+            p.0 *= scale;
+            p.1 *= scale;
+        }
+        Some(GlobalFloorplan {
+            positions,
+            objective: best.wirelength,
+            rank_gap: best.rel_gap,
+            alpha: self.final_alpha,
+            converged: self.converged,
+            iterations: self.global_iter,
+            trace: self.trace,
+        })
+    }
+}
+
+/// Why [`run_alpha_round`] returned without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// Rank certificate met — the algorithm is done.
+    RankCertified,
+    /// Inner iteration converged but the rank is not yet certified:
+    /// the caller escalates α.
+    InnerConverged,
+    /// Inner iteration budget exhausted: the caller escalates α.
+    IterBudget,
 }
 
 /// The result of a global floorplanning run.
@@ -175,201 +292,236 @@ impl SdpFloorplanner {
         // backend needs the lifted matrix to have O(1) entries.
         let scale = problem.length_scale();
         let norm = problem.normalized();
-        let problem = &norm;
-        let n = problem.n;
-        let lift = Lift::new(n);
         let backend = match &st.backend {
             Backend::Admm(s) => Sp1Backend::Admm(s.clone()),
             Backend::Ipm(s) => Sp1Backend::Ipm(s.clone()),
         };
+        let mut state = OuterState::new(&norm, st);
+        while state.round < st.max_alpha_rounds && !state.converged {
+            match run_alpha_round(&norm, scale, st, &backend, &mut state)? {
+                RoundOutcome::RankCertified => break,
+                RoundOutcome::InnerConverged | RoundOutcome::IterBudget => {
+                    state.alpha *= st.alpha_growth;
+                    state.round += 1;
+                }
+            }
+        }
+        state
+            .into_floorplan(scale)
+            .ok_or_else(|| FloorplanError::InvalidProblem {
+                reason: "no iterations executed (check iteration budgets)".into(),
+            })
+    }
+}
 
-        let mut alpha = st.alpha0;
-        let mut trace: Vec<IterTrace> = Vec::new();
-        let mut global_iter = 0usize;
-        let mut best: Option<(Vec<(f64, f64)>, f64, f64)> = None; // (pos, wl, gap)
-        // Start from a spread embedding rather than zero: the
-        // all-zero X branch is a spurious fixed point of the convex
-        // iteration (W then spans the pinned identity block, whose
-        // trace contribution cannot be reduced).
-        let mut warm_z: Option<Vec<f64>> = if st.warm_start {
-            Some(lift.embed_positions(&problem.spread_positions(), 0.0))
+/// Rejects non-finite iterates before they poison downstream state.
+fn guard_finite(data: &[f64], stage: &'static str) -> Result<(), FloorplanError> {
+    if data.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(FloorplanError::NumericalBreakdown {
+            stage,
+            reason: "non-finite entries in iterate".into(),
+        })
+    }
+}
+
+/// Runs one α round (Algorithm 1 lines 2–12) against `state`, mutating
+/// it in place.
+///
+/// `problem` must be the **normalized** problem and `scale` its
+/// original length scale (trace wirelengths are reported in original
+/// units). Unless the outcome is [`RoundOutcome::RankCertified`], the
+/// caller escalates: `state.alpha *= st.alpha_growth; state.round += 1`.
+///
+/// # Errors
+///
+/// Backend failures propagate as usual; in addition the NaN /
+/// indefiniteness guards raise [`FloorplanError::NumericalBreakdown`]
+/// when `Z*` or `W` contains non-finite entries or `Z*` is
+/// significantly indefinite. On error `state` keeps whatever the round
+/// wrote before the failed iteration — callers that need clean state
+/// roll back to a checkpoint clone (see [`crate::supervisor`]).
+pub fn run_alpha_round(
+    problem: &GlobalFloorplanProblem,
+    scale: f64,
+    st: &FloorplannerSettings,
+    backend: &Sp1Backend,
+    state: &mut OuterState,
+) -> Result<RoundOutcome, FloorplanError> {
+    let _round_span = telemetry::span("sdp.alpha_round");
+    let n = problem.n;
+    let lift = Lift::new(n);
+    let round = state.round;
+    let alpha = state.alpha;
+    let round_start_iter = state.global_iter;
+    state.final_alpha = alpha;
+    // Algorithm 1 lines 2–4: W starts from the trace heuristic
+    // (identity) and B from the base matrix. When
+    // `reset_direction` is off, W instead carries over from the
+    // previous α round (see the setting's docs).
+    let mut w = match (&state.carried_w, st.reset_direction) {
+        (Some(w), false) => w.clone(),
+        _ => Mat::identity(lift.nn),
+    };
+    let mut a_eff = effective_adjacency(problem, st.enhancements, None);
+    let mut prev_z: Option<Vec<f64>> = None;
+    let mut prev_w: Option<Mat> = None;
+    let mut outcome = RoundOutcome::IterBudget;
+
+    for _t in 0..st.max_iter {
+        state.global_iter += 1;
+        let global_iter = state.global_iter;
+        let objective = objective_matrix(problem, &a_eff, Some((&w, alpha)));
+        let warm = if st.warm_start {
+            state.warm_z.as_deref()
         } else {
             None
         };
-        let mut converged = false;
-        let mut final_alpha = alpha;
+        let sp1 = solve_subproblem1(problem, &a_eff, &objective, backend, warm)?;
+        let z = sp1.z.clone();
+        guard_finite(&z, "subproblem1")?;
+        let z_mat = lift.z_matrix(&z);
+        let (w_new, gap) = solve_subproblem2(&z_mat, n)?;
+        guard_finite(w_new.as_slice(), "subproblem2")?;
+        let trace_z = z_mat.trace().max(1e-300);
+        // A genuinely PSD Z* keeps <W,Z> ≥ 0 up to solver tolerance; a
+        // markedly negative gap means the iterate left the cone.
+        if !gap.is_finite() || gap < -1e-3 * trace_z.max(1.0) {
+            return Err(FloorplanError::NumericalBreakdown {
+                stage: "subproblem2",
+                reason: format!("indefinite Z*: <W,Z> = {gap:.3e}, trace = {trace_z:.3e}"),
+            });
+        }
 
-        let mut carried_w: Option<Mat> = None;
-        'outer: for round in 0..st.max_alpha_rounds {
-            let _round_span = telemetry::span("sdp.alpha_round");
-            let round_start_iter = global_iter;
-            final_alpha = alpha;
-            // Algorithm 1 lines 2–4: W starts from the trace heuristic
-            // (identity) and B from the base matrix. When
-            // `reset_direction` is off, W instead carries over from the
-            // previous α round (see the setting's docs).
-            let mut w = match (&carried_w, st.reset_direction) {
-                (Some(w), false) => w.clone(),
-                _ => Mat::identity(lift.nn),
-            };
-            let mut a_eff = effective_adjacency(problem, st.enhancements, None);
-            let mut prev_z: Option<Vec<f64>> = None;
-            let mut prev_w: Option<Mat> = None;
+        // Diagnostics in original-connectivity units.
+        let positions = lift.extract_positions(&z);
+        let wirelength =
+            crate::diagnostics::quadratic_wirelength(problem, &positions) * scale * scale;
+        state.trace.push(IterTrace {
+            alpha,
+            iteration: global_iter,
+            wirelength,
+            rank_gap: gap,
+            sp1_seconds: sp1.solve_seconds,
+            sp1_status: sp1.status,
+        });
 
-            for _t in 0..st.max_iter {
-                global_iter += 1;
-                let objective = objective_matrix(problem, &a_eff, Some((&w, alpha)));
-                let warm = if st.warm_start {
-                    warm_z.as_deref()
-                } else {
-                    None
+        let rel_gap = (gap / trace_z).max(0.0);
+        match &mut state.best {
+            Some(b) => {
+                // Prefer rank-certified iterates (their X block is a
+                // genuine layout); among certified, lower wirelength;
+                // among uncertified, smaller rank gap.
+                let cert_now = rel_gap < st.eps_rank;
+                let cert_best = b.rel_gap < st.eps_rank;
+                let better = match (cert_now, cert_best) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => wirelength < b.wirelength,
+                    (false, false) => rel_gap < b.rel_gap,
                 };
-                let sp1 = solve_subproblem1(problem, &a_eff, &objective, &backend, warm)?;
-                let z = sp1.z.clone();
-                let z_mat = lift.z_matrix(&z);
-                let (w_new, gap) = solve_subproblem2(&z_mat, n)?;
-
-                // Diagnostics in original-connectivity units.
-                let positions = lift.extract_positions(&z);
-                let wirelength =
-                    crate::diagnostics::quadratic_wirelength(problem, &positions) * scale * scale;
-                trace.push(IterTrace {
-                    alpha,
-                    iteration: global_iter,
+                if better {
+                    b.positions = positions.clone();
+                    b.wirelength = wirelength;
+                    b.rel_gap = rel_gap;
+                }
+            }
+            None => {
+                state.best = Some(BestIterate {
+                    positions: positions.clone(),
                     wirelength,
-                    rank_gap: gap,
-                    sp1_seconds: sp1.solve_seconds,
-                    sp1_status: sp1.status,
-                });
-
-                let trace_z = z_mat.trace().max(1e-300);
-                let rel_gap = (gap / trace_z).max(0.0);
-                match &mut best {
-                    Some((bp, bw, bg)) => {
-                        // Prefer rank-certified iterates (their X block is a
-                        // genuine layout); among certified, lower wirelength;
-                        // among uncertified, smaller rank gap.
-                        let cert_now = rel_gap < st.eps_rank;
-                        let cert_best = *bg < st.eps_rank;
-                        let better = match (cert_now, cert_best) {
-                            (true, false) => true,
-                            (false, true) => false,
-                            (true, true) => wirelength < *bw,
-                            (false, false) => rel_gap < *bg,
-                        };
-                        if better {
-                            *bp = positions.clone();
-                            *bw = wirelength;
-                            *bg = rel_gap;
-                        }
-                    }
-                    None => best = Some((positions.clone(), wirelength, rel_gap)),
-                }
-
-                // Enhancement updates for the next iteration (Eq. 20).
-                a_eff = effective_adjacency(problem, st.enhancements, Some(&positions));
-
-                // Convergence of the inner loop (Algorithm 1 line 10).
-                let z_delta = match &prev_z {
-                    Some(pz) => {
-                        let num: f64 = z
-                            .iter()
-                            .zip(pz.iter())
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>()
-                            .sqrt();
-                        let den: f64 =
-                            z.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
-                        num / den
-                    }
-                    None => f64::INFINITY,
-                };
-                let w_delta = match &prev_w {
-                    Some(pw) => (&w_new - pw).norm_fro() / (n as f64),
-                    None => f64::INFINITY,
-                };
-                prev_z = Some(z.clone());
-                prev_w = Some(w_new.clone());
-                if st.warm_start {
-                    warm_z = Some(z);
-                }
-                w = w_new;
-                carried_w = Some(w.clone());
-
-                // One telemetry event per convex iteration. The field
-                // slice is only built when telemetry is on, keeping the
-                // disabled hot path allocation- and I/O-free.
-                if telemetry::enabled() {
-                    telemetry::event(
-                        "convex.iter",
-                        &[
-                            ("alpha", alpha.into()),
-                            ("iteration", global_iter.into()),
-                            ("round", round.into()),
-                            ("objective", sp1.objective.into()),
-                            ("wirelength", wirelength.into()),
-                            ("rank_gap", gap.into()),
-                            ("rel_gap", rel_gap.into()),
-                            ("z_delta", z_delta.into()),
-                            ("w_delta", w_delta.into()),
-                            ("sp1_seconds", sp1.solve_seconds.into()),
-                            ("sp1_status", format!("{:?}", sp1.status).into()),
-                        ],
-                    );
-                    telemetry::counter_add("convex.iterations", 1);
-                }
-
-                // Outer termination (Algorithm 1 line 12): rank satisfied.
-                if rel_gap < st.eps_rank && z_delta + w_delta < st.eps_conv {
-                    converged = true;
-                    break 'outer;
-                }
-                if z_delta + w_delta < st.eps_conv {
-                    break; // inner converged, rank not yet: escalate α
-                }
+                    rel_gap,
+                })
             }
-
-            if telemetry::enabled() {
-                telemetry::event(
-                    "convex.alpha_round",
-                    &[
-                        ("round", round.into()),
-                        ("alpha", alpha.into()),
-                        ("iterations", (global_iter - round_start_iter).into()),
-                        ("best_rel_gap", best.as_ref().map_or(f64::NAN, |b| b.2).into()),
-                    ],
-                );
-            }
-
-            // Check rank after the inner loop as well.
-            if let Some((_, _, g)) = &best {
-                if *g < st.eps_rank {
-                    converged = true;
-                    break 'outer;
-                }
-            }
-            alpha *= st.alpha_growth;
         }
 
-        let (mut positions, objective, rank_gap) = best.ok_or_else(|| {
-            FloorplanError::InvalidProblem {
-                reason: "no iterations executed (check iteration budgets)".into(),
+        // Enhancement updates for the next iteration (Eq. 20).
+        a_eff = effective_adjacency(problem, st.enhancements, Some(&positions));
+
+        // Convergence of the inner loop (Algorithm 1 line 10).
+        let z_delta = match &prev_z {
+            Some(pz) => {
+                let num: f64 = z
+                    .iter()
+                    .zip(pz.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let den: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+                num / den
             }
-        })?;
-        for p in &mut positions {
-            p.0 *= scale;
-            p.1 *= scale;
+            None => f64::INFINITY,
+        };
+        let w_delta = match &prev_w {
+            Some(pw) => (&w_new - pw).norm_fro() / (n as f64),
+            None => f64::INFINITY,
+        };
+        prev_z = Some(z.clone());
+        prev_w = Some(w_new.clone());
+        if st.warm_start {
+            state.warm_z = Some(z);
         }
-        Ok(GlobalFloorplan {
-            positions,
-            objective,
-            rank_gap,
-            alpha: final_alpha,
-            converged,
-            iterations: global_iter,
-            trace,
-        })
+        w = w_new;
+        state.carried_w = Some(w.clone());
+
+        // One telemetry event per convex iteration. The field
+        // slice is only built when telemetry is on, keeping the
+        // disabled hot path allocation- and I/O-free.
+        if telemetry::enabled() {
+            telemetry::event(
+                "convex.iter",
+                &[
+                    ("alpha", alpha.into()),
+                    ("iteration", global_iter.into()),
+                    ("round", round.into()),
+                    ("objective", sp1.objective.into()),
+                    ("wirelength", wirelength.into()),
+                    ("rank_gap", gap.into()),
+                    ("rel_gap", rel_gap.into()),
+                    ("z_delta", z_delta.into()),
+                    ("w_delta", w_delta.into()),
+                    ("sp1_seconds", sp1.solve_seconds.into()),
+                    ("sp1_status", format!("{:?}", sp1.status).into()),
+                ],
+            );
+            telemetry::counter_add("convex.iterations", 1);
+        }
+
+        // Outer termination (Algorithm 1 line 12): rank satisfied.
+        if rel_gap < st.eps_rank && z_delta + w_delta < st.eps_conv {
+            state.converged = true;
+            return Ok(RoundOutcome::RankCertified);
+        }
+        if z_delta + w_delta < st.eps_conv {
+            outcome = RoundOutcome::InnerConverged;
+            break; // inner converged, rank not yet: escalate α
+        }
     }
+
+    if telemetry::enabled() {
+        telemetry::event(
+            "convex.alpha_round",
+            &[
+                ("round", round.into()),
+                ("alpha", alpha.into()),
+                ("iterations", (state.global_iter - round_start_iter).into()),
+                (
+                    "best_rel_gap",
+                    state.best.as_ref().map_or(f64::NAN, |b| b.rel_gap).into(),
+                ),
+            ],
+        );
+    }
+
+    // Check rank after the inner loop as well.
+    if let Some(b) = &state.best {
+        if b.rel_gap < st.eps_rank {
+            state.converged = true;
+            return Ok(RoundOutcome::RankCertified);
+        }
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -49,9 +49,14 @@ pub mod lifted;
 pub mod problem;
 pub mod rounding;
 pub mod subproblems;
+pub mod supervisor;
 
 pub use error::FloorplanError;
 pub use iterate::{
-    Backend, FloorplannerSettings, GlobalFloorplan, IterTrace, SdpFloorplanner,
+    run_alpha_round, Backend, BestIterate, FloorplannerSettings, GlobalFloorplan, IterTrace,
+    OuterState, RoundOutcome, SdpFloorplanner,
 };
 pub use problem::{GlobalFloorplanProblem, ProblemOptions};
+pub use supervisor::{
+    DegradeCause, DegradedResult, SolveQuality, SolveSupervisor, SupervisorSettings,
+};

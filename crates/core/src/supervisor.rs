@@ -1,0 +1,530 @@
+//! Supervised solving: budgets, guards, fallback and degradation.
+//!
+//! [`SdpFloorplanner::solve`](crate::SdpFloorplanner::solve) is the
+//! bare Algorithm 1 driver: any backend failure or numerical breakdown
+//! propagates as an error and the work done so far is lost.
+//! [`SolveSupervisor`] wraps the same outer loop with a supervision
+//! layer built for unattended runs:
+//!
+//! * **Checkpoint/resume** — the outer-loop state ([`OuterState`]: α,
+//!   the direction matrix `W`, the warm-start `Z` and the best iterate
+//!   seen so far) is checkpointed before every α round; a failed round
+//!   is rolled back instead of poisoning the run.
+//! * **Backend fallback** — on failure the sub-problem-1 backend is
+//!   swapped (ADMM ↔ dense barrier IPM) and the round retried from the
+//!   checkpoint.
+//! * **α backtracking** — if the fallback also fails, the rank penalty
+//!   is divided by [`SupervisorSettings::alpha_backtrack`] and the
+//!   carried direction matrix is discarded; oversized penalties are the
+//!   most common cause of divergence.
+//! * **Budgets** — optional per-round and total wall-clock limits stop
+//!   runaway solves. They default to `None`: wall limits make the
+//!   control flow machine-dependent, so deterministic runs (tests,
+//!   reproducibility studies) must leave them off.
+//! * **Degradation, not panic** — [`SolveSupervisor::solve`] is
+//!   infallible. It always returns the best-known placement together
+//!   with a machine-readable quality taxonomy ([`SolveQuality`],
+//!   [`DegradeCause`]); if literally nothing solved, the deterministic
+//!   spread embedding is returned as a [`SolveQuality::Placeholder`].
+//!
+//! All supervision decisions depend only on deterministic solver
+//! outcomes (when wall limits are `None`), so a supervised solve is as
+//! reproducible as a bare one — including under injected faults from
+//! `gfp-fault`, whose hooks fire on deterministic call counts.
+
+use std::time::{Duration, Instant};
+
+use gfp_conic::ipm::BarrierSettings;
+use gfp_conic::AdmmSettings;
+use gfp_telemetry as telemetry;
+
+use crate::iterate::{
+    run_alpha_round, Backend, FloorplannerSettings, GlobalFloorplan, OuterState, RoundOutcome,
+};
+use crate::subproblems::Sp1Backend;
+use crate::{FloorplanError, GlobalFloorplanProblem};
+
+/// Knobs of the supervision layer (on top of
+/// [`FloorplannerSettings`], which budget the algorithm itself).
+#[derive(Debug, Clone)]
+pub struct SupervisorSettings {
+    /// Total recovery attempts (fallbacks + backtracks) before the run
+    /// degrades to the best-known placement.
+    pub max_recoveries: usize,
+    /// Swap the sub-problem-1 backend (ADMM ↔ IPM) on the first
+    /// failure.
+    pub backend_fallback: bool,
+    /// Divisor applied to α when backtracking (must be > 1).
+    pub alpha_backtrack: f64,
+    /// Maximum α backtracks before giving up.
+    pub max_backtracks: usize,
+    /// Wall-clock limit per α round, checked **between** rounds (a
+    /// round is never interrupted mid-flight). `None` (the default)
+    /// keeps the control flow deterministic.
+    pub round_wall_limit: Option<Duration>,
+    /// Total wall-clock limit, checked before each round. `None` (the
+    /// default) keeps the control flow deterministic.
+    pub total_wall_limit: Option<Duration>,
+}
+
+impl Default for SupervisorSettings {
+    fn default() -> Self {
+        SupervisorSettings {
+            max_recoveries: 4,
+            backend_fallback: true,
+            alpha_backtrack: 4.0,
+            max_backtracks: 2,
+            round_wall_limit: None,
+            total_wall_limit: None,
+        }
+    }
+}
+
+/// How good the returned placement is — the coarse, machine-readable
+/// verdict of a supervised solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveQuality {
+    /// Rank certificate met with no recovery needed.
+    Certified,
+    /// Rank certificate met, but only after at least one fallback or
+    /// backtrack.
+    Recovered,
+    /// No certificate: the iteration budgets ran out on a healthy run
+    /// (same meaning as `converged: false` from the bare solver).
+    BudgetExhausted,
+    /// Failures consumed the recovery budget (or a wall limit fired);
+    /// the placement is the best iterate seen before degradation.
+    Degraded,
+    /// Nothing solved at all: the placement is the deterministic
+    /// spread embedding, usable only as a seed.
+    Placeholder,
+}
+
+impl SolveQuality {
+    /// Stable machine-readable identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolveQuality::Certified => "certified",
+            SolveQuality::Recovered => "recovered",
+            SolveQuality::BudgetExhausted => "budget_exhausted",
+            SolveQuality::Degraded => "degraded",
+            SolveQuality::Placeholder => "placeholder",
+        }
+    }
+}
+
+/// One reason a supervised solve lost quality. A run accumulates one
+/// entry per failure or tripped budget, in chronological order.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DegradeCause {
+    /// A NaN/Inf or indefiniteness guard fired
+    /// ([`FloorplanError::NumericalBreakdown`]).
+    NumericalBreakdown {
+        /// Pipeline stage that tripped the guard.
+        stage: &'static str,
+    },
+    /// The active conic backend returned an error.
+    BackendFailure {
+        /// Backend that failed (`"admm"` or `"ipm"`).
+        backend: &'static str,
+        /// Rendered error.
+        detail: String,
+    },
+    /// A wall-clock budget fired.
+    WallBudget {
+        /// `"round"` or `"total"`.
+        scope: &'static str,
+    },
+    /// The recovery budget itself ran out.
+    RecoveryExhausted,
+}
+
+impl DegradeCause {
+    /// Stable machine-readable identifier.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DegradeCause::NumericalBreakdown { .. } => "numerical_breakdown",
+            DegradeCause::BackendFailure { .. } => "backend_failure",
+            DegradeCause::WallBudget { .. } => "wall_budget",
+            DegradeCause::RecoveryExhausted => "recovery_exhausted",
+        }
+    }
+}
+
+/// The (infallible) outcome of a supervised solve: the best-known
+/// placement plus everything needed to judge and resume it.
+#[derive(Debug, Clone)]
+pub struct DegradedResult {
+    /// Best-known placement. Always present — see
+    /// [`DegradedResult::quality`] for how much to trust it.
+    pub floorplan: GlobalFloorplan,
+    /// Coarse quality verdict.
+    pub quality: SolveQuality,
+    /// Chronological failure/budget record (empty on a clean run).
+    pub causes: Vec<DegradeCause>,
+    /// Recovery attempts consumed.
+    pub recoveries: usize,
+    /// Backend fallbacks performed.
+    pub fallbacks: usize,
+    /// α backtracks performed.
+    pub backtracks: usize,
+    /// Backend active when the run ended (`"admm"` or `"ipm"`).
+    pub final_backend: &'static str,
+    /// Final outer-loop state; feed it to [`SolveSupervisor::resume`]
+    /// (with the same problem) to continue with enlarged budgets.
+    pub checkpoint: OuterState,
+}
+
+/// Supervision loop around the convex-iteration driver. See the
+/// [module docs](self) for the recovery policy.
+#[derive(Debug, Clone)]
+pub struct SolveSupervisor {
+    settings: FloorplannerSettings,
+    sup: SupervisorSettings,
+}
+
+/// Builds the opposite backend for fallback. The fallback gets the
+/// reduced-budget profile of [`FloorplannerSettings::fast`]: after a
+/// failure the goal is a usable iterate, not peak accuracy.
+fn fallback_backend(primary: &Backend) -> (&'static str, Sp1Backend) {
+    match primary {
+        Backend::Admm(_) => (
+            "ipm",
+            Sp1Backend::Ipm(BarrierSettings {
+                eps: 1e-6,
+                ..BarrierSettings::default()
+            }),
+        ),
+        Backend::Ipm(_) => (
+            "admm",
+            Sp1Backend::Admm(AdmmSettings {
+                eps: 1e-5,
+                max_iter: 8000,
+                ..AdmmSettings::default()
+            }),
+        ),
+    }
+}
+
+fn cause_of(err: &FloorplanError, backend: &'static str) -> DegradeCause {
+    match err {
+        FloorplanError::NumericalBreakdown { stage, .. } => {
+            DegradeCause::NumericalBreakdown { stage }
+        }
+        other => DegradeCause::BackendFailure {
+            backend,
+            detail: other.to_string(),
+        },
+    }
+}
+
+impl SolveSupervisor {
+    /// Supervises with the default [`SupervisorSettings`].
+    pub fn new(settings: FloorplannerSettings) -> Self {
+        SolveSupervisor {
+            settings,
+            sup: SupervisorSettings::default(),
+        }
+    }
+
+    /// Supervises with explicit supervision knobs.
+    pub fn with_supervision(settings: FloorplannerSettings, sup: SupervisorSettings) -> Self {
+        SolveSupervisor { settings, sup }
+    }
+
+    /// The algorithm settings.
+    pub fn settings(&self) -> &FloorplannerSettings {
+        &self.settings
+    }
+
+    /// The supervision knobs.
+    pub fn supervision(&self) -> &SupervisorSettings {
+        &self.sup
+    }
+
+    /// Runs a supervised solve. Never fails: the worst case is a
+    /// [`SolveQuality::Placeholder`] result carrying the spread
+    /// embedding and the accumulated [`DegradeCause`] list.
+    pub fn solve(&self, problem: &GlobalFloorplanProblem) -> DegradedResult {
+        let norm = problem.normalized();
+        let state = OuterState::new(&norm, &self.settings);
+        self.run(problem, state)
+    }
+
+    /// Resumes a previous run from its checkpoint. `problem` must be
+    /// the same problem the checkpoint came from (the state stores
+    /// normalized-coordinate data tied to that instance); typically the
+    /// supervisor is rebuilt with enlarged budgets first.
+    pub fn resume(&self, problem: &GlobalFloorplanProblem, checkpoint: OuterState) -> DegradedResult {
+        self.run(problem, checkpoint)
+    }
+
+    fn run(&self, problem: &GlobalFloorplanProblem, mut state: OuterState) -> DegradedResult {
+        let _span = telemetry::span("supervisor.solve");
+        let t0 = Instant::now();
+        let st = &self.settings;
+        let scale = problem.length_scale();
+        let norm = problem.normalized();
+
+        let primary_name: &'static str = match &st.backend {
+            Backend::Admm(_) => "admm",
+            Backend::Ipm(_) => "ipm",
+        };
+        let primary: Sp1Backend = match &st.backend {
+            Backend::Admm(s) => Sp1Backend::Admm(s.clone()),
+            Backend::Ipm(s) => Sp1Backend::Ipm(s.clone()),
+        };
+        let (fallback_name, fallback) = fallback_backend(&st.backend);
+        let mut active_name = primary_name;
+        let mut active = primary.clone();
+
+        let mut causes: Vec<DegradeCause> = Vec::new();
+        let mut recoveries = 0usize;
+        let mut fallbacks = 0usize;
+        let mut backtracks = 0usize;
+        let mut exhausted = false;
+        let mut wall_tripped = false;
+
+        while state.round < st.max_alpha_rounds && !state.converged {
+            if let Some(limit) = self.sup.total_wall_limit {
+                if t0.elapsed() >= limit {
+                    causes.push(DegradeCause::WallBudget { scope: "total" });
+                    wall_tripped = true;
+                    break;
+                }
+            }
+            // Checkpoint before the round: on failure everything the
+            // poisoned round wrote (trace rows, warm starts, carried W)
+            // is rolled back in one assignment.
+            let checkpoint = state.clone();
+            let round_t0 = Instant::now();
+            match run_alpha_round(&norm, scale, st, &active, &mut state) {
+                Ok(RoundOutcome::RankCertified) => break,
+                Ok(RoundOutcome::InnerConverged) | Ok(RoundOutcome::IterBudget) => {
+                    state.alpha *= st.alpha_growth;
+                    state.round += 1;
+                    telemetry::counter_add("supervisor.rounds", 1);
+                    if let Some(limit) = self.sup.round_wall_limit {
+                        if round_t0.elapsed() >= limit {
+                            causes.push(DegradeCause::WallBudget { scope: "round" });
+                            wall_tripped = true;
+                            break;
+                        }
+                    }
+                }
+                Err(err) => {
+                    let cause = cause_of(&err, active_name);
+                    recoveries += 1;
+                    state = checkpoint;
+                    let action: &'static str;
+                    if recoveries > self.sup.max_recoveries {
+                        causes.push(cause);
+                        causes.push(DegradeCause::RecoveryExhausted);
+                        exhausted = true;
+                        action = "exhausted";
+                    } else if self.sup.backend_fallback && fallbacks == 0 {
+                        // First line of defense: the other backend,
+                        // same checkpoint.
+                        active = fallback.clone();
+                        active_name = fallback_name;
+                        fallbacks += 1;
+                        causes.push(cause);
+                        action = "fallback";
+                    } else if backtracks < self.sup.max_backtracks {
+                        // Second line: shrink the rank penalty and drop
+                        // the carried direction matrix — an oversized
+                        // α W term is the usual divergence driver. The
+                        // fallback backend (if any) is reverted: the
+                        // primary gets first shot at the easier round.
+                        if fallbacks > 0 {
+                            active = primary.clone();
+                            active_name = primary_name;
+                        }
+                        state.alpha =
+                            (state.alpha / self.sup.alpha_backtrack).max(f64::MIN_POSITIVE);
+                        state.carried_w = None;
+                        backtracks += 1;
+                        causes.push(cause);
+                        action = "backtrack";
+                    } else {
+                        causes.push(cause);
+                        causes.push(DegradeCause::RecoveryExhausted);
+                        exhausted = true;
+                        action = "exhausted";
+                    }
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "supervisor.recovery",
+                            &[
+                                ("error", err.to_string().into()),
+                                ("backend", active_name.into()),
+                                ("action", action.into()),
+                                ("recoveries", recoveries.into()),
+                            ],
+                        );
+                        telemetry::counter_add("supervisor.recoveries", 1);
+                    }
+                    if exhausted {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let converged = state.converged;
+        let checkpoint = state.clone();
+        let floorplan = state.into_floorplan(scale);
+        let quality = match &floorplan {
+            Some(_) if converged && recoveries == 0 && !wall_tripped => SolveQuality::Certified,
+            Some(_) if converged => SolveQuality::Recovered,
+            Some(_) if exhausted || wall_tripped => SolveQuality::Degraded,
+            Some(_) if causes.is_empty() => SolveQuality::BudgetExhausted,
+            Some(_) => SolveQuality::Degraded,
+            None => SolveQuality::Placeholder,
+        };
+        let floorplan = floorplan.unwrap_or_else(|| {
+            // Nothing solved: fall back to the deterministic spread
+            // embedding so downstream stages still get a layout.
+            let spread = norm.spread_positions();
+            let wirelength =
+                crate::diagnostics::quadratic_wirelength(&norm, &spread) * scale * scale;
+            let positions = spread.into_iter().map(|(x, y)| (x * scale, y * scale)).collect();
+            GlobalFloorplan {
+                positions,
+                objective: wirelength,
+                rank_gap: f64::INFINITY,
+                alpha: checkpoint.final_alpha,
+                converged: false,
+                iterations: checkpoint.global_iter,
+                trace: checkpoint.trace.clone(),
+            }
+        });
+
+        if telemetry::enabled() {
+            telemetry::event(
+                "supervisor.done",
+                &[
+                    ("quality", quality.as_str().into()),
+                    ("recoveries", recoveries.into()),
+                    ("fallbacks", fallbacks.into()),
+                    ("backtracks", backtracks.into()),
+                    ("rounds", checkpoint.round.into()),
+                    ("converged", converged.into()),
+                    ("backend", active_name.into()),
+                ],
+            );
+            telemetry::counter_add("supervisor.solves", 1);
+        }
+
+        DegradedResult {
+            floorplan,
+            quality,
+            causes,
+            recoveries,
+            fallbacks,
+            backtracks,
+            final_backend: active_name,
+            checkpoint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::suite;
+
+    fn n10_problem() -> GlobalFloorplanProblem {
+        let b = suite::gsrc_n10();
+        GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap()
+    }
+
+    fn tiny_settings() -> FloorplannerSettings {
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 4;
+        s.max_alpha_rounds = 4;
+        s
+    }
+
+    #[test]
+    fn clean_run_is_certified_or_budget_exhausted() {
+        let p = n10_problem();
+        let r = SolveSupervisor::new(tiny_settings()).solve(&p);
+        assert!(matches!(
+            r.quality,
+            SolveQuality::Certified | SolveQuality::BudgetExhausted
+        ));
+        assert!(r.causes.is_empty());
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.floorplan.positions.len(), 10);
+        assert_eq!(r.final_backend, "admm");
+    }
+
+    #[test]
+    fn supervised_matches_bare_solver_on_clean_run() {
+        let p = n10_problem();
+        let s = tiny_settings();
+        let bare = crate::SdpFloorplanner::new(s.clone()).solve(&p).unwrap();
+        let sup = SolveSupervisor::new(s).solve(&p);
+        assert_eq!(bare.positions, sup.floorplan.positions);
+        assert_eq!(bare.iterations, sup.floorplan.iterations);
+        assert_eq!(bare.converged, sup.floorplan.converged);
+    }
+
+    #[test]
+    fn zero_round_budget_yields_placeholder() {
+        let p = n10_problem();
+        let mut s = tiny_settings();
+        s.max_alpha_rounds = 0;
+        let r = SolveSupervisor::new(s).solve(&p);
+        assert_eq!(r.quality, SolveQuality::Placeholder);
+        assert_eq!(r.floorplan.positions.len(), 10);
+        assert!(r.floorplan.positions.iter().all(|p| p.0.is_finite()));
+        assert!(!r.floorplan.converged);
+    }
+
+    #[test]
+    fn resume_continues_from_checkpoint() {
+        let p = n10_problem();
+        let mut s = tiny_settings();
+        s.eps_rank = 1e-12; // unreachable: force budget exhaustion
+        s.max_alpha_rounds = 2;
+        let sup = SolveSupervisor::new(s.clone());
+        let first = sup.solve(&p);
+        assert_eq!(first.quality, SolveQuality::BudgetExhausted);
+        let rounds_done = first.checkpoint.round;
+        let mut s2 = s;
+        s2.max_alpha_rounds = 4;
+        let second = SolveSupervisor::new(s2).resume(&p, first.checkpoint);
+        assert!(second.checkpoint.round > rounds_done);
+        assert!(second.floorplan.iterations > first.floorplan.iterations);
+    }
+
+    #[test]
+    fn total_wall_limit_zero_degrades_immediately() {
+        let p = n10_problem();
+        let sup = SolveSupervisor::with_supervision(
+            tiny_settings(),
+            SupervisorSettings {
+                total_wall_limit: Some(std::time::Duration::ZERO),
+                ..SupervisorSettings::default()
+            },
+        );
+        let r = sup.solve(&p);
+        assert_eq!(r.quality, SolveQuality::Placeholder);
+        assert_eq!(r.causes, vec![DegradeCause::WallBudget { scope: "total" }]);
+    }
+
+    #[test]
+    fn quality_and_cause_codes_are_stable() {
+        assert_eq!(SolveQuality::Certified.as_str(), "certified");
+        assert_eq!(SolveQuality::Placeholder.as_str(), "placeholder");
+        assert_eq!(
+            DegradeCause::NumericalBreakdown { stage: "x" }.code(),
+            "numerical_breakdown"
+        );
+        assert_eq!(DegradeCause::RecoveryExhausted.code(), "recovery_exhausted");
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden-trace regression test for the solver's telemetry stream.
+//!
+//! Snapshots the *shape* of the JSONL telemetry a seeded n10 solve
+//! emits — the run-length-encoded sequence of record kinds and names
+//! plus the sorted set of counter keys — and compares it against a
+//! checked-in fixture. Timings, values and span ids are deliberately
+//! excluded: the fixture pins the instrumentation contract (which
+//! spans/events fire, in what order), not machine-dependent numbers.
+//!
+//! The solve is pinned to a 2-worker pool so kernel-level counters do
+//! not depend on the host's core count, and the whole pipeline is
+//! bitwise deterministic, so the event sequence is exactly
+//! reproducible.
+//!
+//! To regenerate after an intentional instrumentation change:
+//!
+//! ```text
+//! GFP_UPDATE_GOLDEN=1 cargo test -p gfp-core --test golden_trace
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use gfp_core::{FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner};
+use gfp_netlist::suite;
+use gfp_parallel::{with_pool, ThreadPool};
+use gfp_telemetry as telemetry;
+use gfp_telemetry::{NullSink, RecordingSink};
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_trace_n10.txt"
+);
+
+fn run_seeded_solve_signature() -> String {
+    let sink = Arc::new(RecordingSink::new());
+    telemetry::install_sink(sink.clone());
+    telemetry::set_enabled(true);
+    telemetry::reset_aggregates();
+
+    let b = suite::gsrc_n10();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_iter = 3;
+    settings.max_alpha_rounds = 3;
+    let pool = ThreadPool::new(2);
+    let fp = with_pool(&pool, || {
+        SdpFloorplanner::new(settings).solve(&problem).unwrap()
+    });
+    assert_eq!(fp.positions.len(), 10);
+
+    telemetry::set_enabled(false);
+    telemetry::install_sink(Arc::new(NullSink));
+
+    let mut out = String::new();
+    out.push_str("# Golden telemetry trace: seeded n10 solve (fast settings, 2 workers).\n");
+    out.push_str("# Record sequence is run-length encoded as `kind:name xN`;\n");
+    out.push_str("# counter keys are sorted. Values/timings are intentionally absent.\n");
+    out.push_str(
+        "# Regenerate: GFP_UPDATE_GOLDEN=1 cargo test -p gfp-core --test golden_trace\n",
+    );
+    let mut run: Option<(String, usize)> = None;
+    let mut flush = |out: &mut String, run: &Option<(String, usize)>| {
+        if let Some((key, count)) = run {
+            if *count > 1 {
+                writeln!(out, "{key} x{count}").unwrap();
+            } else {
+                writeln!(out, "{key}").unwrap();
+            }
+        }
+    };
+    for record in sink.snapshot() {
+        let key = format!("{}:{}", record.kind.tag(), record.name);
+        match &mut run {
+            Some((k, n)) if *k == key => *n += 1,
+            _ => {
+                flush(&mut out, &run);
+                run = Some((key, 1));
+            }
+        }
+    }
+    flush(&mut out, &run);
+    out.push_str("counters:\n");
+    let mut keys: Vec<&'static str> = telemetry::counters_snapshot()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    keys.sort_unstable();
+    for key in keys {
+        writeln!(out, "  {key}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn telemetry_trace_matches_golden_fixture() {
+    let actual = run_seeded_solve_signature();
+    if std::env::var("GFP_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(FIXTURE_PATH, &actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {FIXTURE_PATH} ({e}); regenerate with \
+             GFP_UPDATE_GOLDEN=1 cargo test -p gfp-core --test golden_trace"
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "telemetry trace diverged from the golden fixture; if the \
+         instrumentation change is intentional, regenerate with \
+         GFP_UPDATE_GOLDEN=1 cargo test -p gfp-core --test golden_trace"
+    );
+}

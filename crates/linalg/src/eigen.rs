@@ -35,7 +35,9 @@ impl Eigh {
 ///
 /// # Errors
 ///
-/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// Returns [`LinalgError::NotSquare`] for non-square input,
+/// [`LinalgError::NonFinite`] when the input (or, defensively, the
+/// computed spectrum) contains NaN/Inf, and
 /// [`LinalgError::NoConvergence`] if the QL iteration fails (does not
 /// happen for finite input in practice).
 ///
@@ -69,10 +71,35 @@ pub fn eigh(a: &Mat) -> Result<Eigh, LinalgError> {
     // Work on a symmetrized copy so callers may pass nearly-symmetric input.
     let mut z = a.clone();
     z.symmetrize_mut();
+    // Fault-injection hook (no-op unless the `fault-inject` feature is
+    // on): corrupts the working copy or simulates a QL stall, always
+    // upstream of the guards below so they are what gets exercised.
+    if let Some(fired) = gfp_fault::corrupt_first(gfp_fault::Site::Eigh, z.as_mut_slice()) {
+        match fired.kind {
+            gfp_fault::FaultKind::Stall | gfp_fault::FaultKind::BudgetExhaust => {
+                return Err(LinalgError::NoConvergence {
+                    method: "tqli",
+                    iterations: 0,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Breakdown guard: NaN/Inf in the input would send the QL
+    // iteration into a non-terminating or panicking regime; fail fast
+    // with a structured error the supervisor can act on.
+    if !z.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFinite { what: "eigh input" });
+    }
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     tred2(&mut z, &mut d, &mut e);
     tqli(&mut d, &mut e, &mut z)?;
+    if !d.iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFinite {
+            what: "eigh eigenvalues",
+        });
+    }
     sort_eigenpairs(&mut d, &mut z);
     crate::kernel_record("eigh", timer);
     Ok(Eigh {
@@ -443,7 +470,9 @@ pub fn spectral_accumulate(
 fn sort_eigenpairs(d: &mut [f64], z: &mut Mat) {
     let n = d.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    // total_cmp: sorting must not panic even if a non-finite value
+    // slips past the guards (defensive; NaNs sort last).
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
     let ds: Vec<f64> = order.iter().map(|&k| d[k]).collect();
     d.copy_from_slice(&ds);
     let old = z.clone();

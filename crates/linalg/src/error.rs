@@ -38,6 +38,12 @@ pub enum LinalgError {
         /// The iteration budget that was exhausted.
         iterations: usize,
     },
+    /// The input (or an intermediate result) contains NaN/Inf, which
+    /// would otherwise propagate silently or panic downstream.
+    NonFinite {
+        /// Which routine detected the breakdown.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -59,6 +65,9 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::NoConvergence { method, iterations } => {
                 write!(f, "{method} did not converge within {iterations} iterations")
+            }
+            LinalgError::NonFinite { what } => {
+                write!(f, "non-finite values detected in {what}")
             }
         }
     }

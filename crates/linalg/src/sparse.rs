@@ -134,13 +134,23 @@ impl CsrMat {
         let nthreads = gfp_parallel::current_num_threads();
         if self.nnz() < CSR_PARALLEL_NNZ || nthreads == 1 || self.rows < 2 {
             self.matvec_rows(x, y, 0);
-            return;
+        } else {
+            let grain = self.rows.div_ceil(nthreads * 4).max(32);
+            let chunks: Vec<&mut [f64]> = y.chunks_mut(grain).collect();
+            gfp_parallel::parallel_for_each_chunk(chunks, |ci, ychunk| {
+                self.matvec_rows(x, ychunk, ci * grain);
+            });
         }
-        let grain = self.rows.div_ceil(nthreads * 4).max(32);
-        let chunks: Vec<&mut [f64]> = y.chunks_mut(grain).collect();
-        gfp_parallel::parallel_for_each_chunk(chunks, |ci, ychunk| {
-            self.matvec_rows(x, ychunk, ci * grain);
-        });
+        // Fault-injection hook (no-op unless `fault-inject` is on):
+        // corrupts the *output* after the deterministic compute, at a
+        // per-call granularity counted on the (serial) calling thread.
+        if let Some(fired) = gfp_fault::corrupt_first(gfp_fault::Site::CsrMatvec, y) {
+            if fired.kind == gfp_fault::FaultKind::PerturbResidual {
+                if let Some(v) = y.first_mut() {
+                    *v += fired.magnitude;
+                }
+            }
+        }
     }
 
     /// Computes `y[off + r] = (A x)[row0 + r]` for the rows covered by

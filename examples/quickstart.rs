@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 3. Global floorplanning: convex iteration between the two SDP
-    //    sub-problems (Algorithm 1).
+    //    sub-problems (Algorithm 1). `fast()` only bounds the solver's
+    //    own budgets; for wall-clock limits, backend fallback and
+    //    never-fail degraded results, wrap the solve in
+    //    `gfp::core::SolveSupervisor` (see the README's Robustness
+    //    section).
     let settings = gfp::core::FloorplannerSettings::fast();
     let result = SdpFloorplanner::new(settings).solve(&problem)?;
     println!(

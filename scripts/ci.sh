@@ -14,6 +14,21 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== slow-tier tests =="
+# Full-budget integration tests (#[ignore]d from the fast tier, see
+# DESIGN.md §10): SDP → legalization pipelines at publication budgets.
+cargo test -q -- --ignored
+
+echo "== fault-injection tests =="
+# Deterministic fault-matrix + supervisor recovery tests; the hooks
+# only compile under the opt-in `fault-inject` feature.
+cargo test -q -p gfp-core --features fault-inject
+
+echo "== no-default-features build =="
+# The workspace must still build with every optional feature (telemetry
+# sinks, fault hooks) disabled — guards against accidental hard deps.
+cargo build --workspace --no-default-features
+
 echo "== workspace tests (GFP_THREADS=2) =="
 # Re-run the kernel-heavy crates with a 2-worker pool: exercises the
 # parallel dispatch paths and the bitwise determinism contract.

@@ -15,6 +15,16 @@
 //! * [`baselines`] — AR, PP, QP, sequence-pair annealing and the
 //!   analytical floorplanner.
 //! * [`legalize`] — constraint graphs and SOCP shape optimization.
+//! * [`fault`] — deterministic fault injection for robustness testing;
+//!   the hooks compile to no-ops unless the `fault-inject` feature is
+//!   enabled.
+//!
+//! For solves that must never panic or return an error — batch runs,
+//! servers — wrap the floorplanner in a
+//! [`SolveSupervisor`](core::SolveSupervisor): it adds budgets,
+//! automatic ADMM↔IPM backend fallback and α backtracking, and always
+//! returns the best-known placement together with a machine-readable
+//! quality verdict.
 //!
 //! # End-to-end example
 //!
@@ -44,6 +54,7 @@
 pub use gfp_baselines as baselines;
 pub use gfp_conic as conic;
 pub use gfp_core as core;
+pub use gfp_fault as fault;
 pub use gfp_legalize as legalize;
 pub use gfp_linalg as linalg;
 pub use gfp_netlist as netlist;

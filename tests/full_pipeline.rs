@@ -1,8 +1,16 @@
 //! End-to-end integration: benchmark generation → SDP global
 //! floorplanning → legalization → HPWL, across crate boundaries.
+//!
+//! Two tiers (see DESIGN.md §10): `*_fast` variants with minimal
+//! budgets run on every `cargo test -q`; the full-budget originals are
+//! `#[ignore]`d and run in the slow tier (`cargo test -q -- --ignored`,
+//! wired into `scripts/ci.sh`).
 
 use gfp::core::diagnostics::check_distance_feasibility;
-use gfp::core::{FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner};
+use gfp::core::{
+    FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions, SdpFloorplanner,
+    SolveSupervisor,
+};
 use gfp::legalize::{legalize, LegalizeSettings};
 use gfp::netlist::{hpwl, suite};
 
@@ -12,7 +20,30 @@ fn fast_settings() -> FloorplannerSettings {
     s
 }
 
+/// Minimal budgets for the fast tier: enough iterations for a sane
+/// layout shape, nowhere near publication quality.
+fn tiny_settings() -> FloorplannerSettings {
+    let mut s = FloorplannerSettings::fast();
+    s.max_iter = 2;
+    s.max_alpha_rounds = 3;
+    s
+}
+
+/// Loose legalizer budgets for the fast tier (the default 1e-6/30k
+/// ADMM profile dominates the slow tier's runtime).
+fn tiny_legalize() -> LegalizeSettings {
+    LegalizeSettings {
+        admm: gfp::conic::AdmmSettings {
+            eps: 1e-4,
+            max_iter: 3000,
+            ..gfp::conic::AdmmSettings::default()
+        },
+        ..LegalizeSettings::default()
+    }
+}
+
 #[test]
+#[ignore = "slow tier: run with `cargo test -- --ignored` (scripts/ci.sh)"]
 fn sdp_to_legal_floorplan_on_n10() {
     let bench = suite::gsrc_n10();
     let (netlist, outline) = bench.with_pads_on_outline(1.0);
@@ -58,6 +89,7 @@ fn sdp_to_legal_floorplan_on_n10() {
 }
 
 #[test]
+#[ignore = "slow tier: run with `cargo test -- --ignored` (scripts/ci.sh)"]
 fn global_floorplan_is_deterministic() {
     let bench = suite::gsrc_n10();
     let (netlist, outline) = bench.with_pads_on_outline(1.0);
@@ -100,6 +132,7 @@ fn bookshelf_roundtrip_preserves_floorplanning_result() {
 }
 
 #[test]
+#[ignore = "slow tier: run with `cargo test -- --ignored` (scripts/ci.sh)"]
 fn no_outline_unconstrained_run_still_separates() {
     let bench = suite::gsrc_n10();
     let problem =
@@ -113,4 +146,97 @@ fn no_outline_unconstrained_run_still_separates() {
         report.violations < report.pairs / 2,
         "{report:?}: too collapsed"
     );
+}
+
+/// Fast-tier variant of [`no_outline_unconstrained_run_still_separates`]
+/// with minimal budgets and a correspondingly looser collapse bound.
+#[test]
+fn no_outline_unconstrained_run_still_separates_fast() {
+    let bench = suite::gsrc_n10();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("capture");
+    let fp = SdpFloorplanner::new(tiny_settings())
+        .solve(&problem)
+        .expect("sdp");
+    let report = check_distance_feasibility(&problem, &fp.positions, 0.10);
+    assert!(
+        report.violations < report.pairs * 2 / 3,
+        "{report:?}: too collapsed"
+    );
+}
+
+/// Fast-tier variant of [`sdp_to_legal_floorplan_on_n10`]: same
+/// pipeline shape with minimal budgets, checking structural invariants
+/// only (no quality bounds — those belong to the slow tier).
+#[test]
+fn sdp_to_legal_floorplan_on_n10_fast() {
+    let bench = suite::gsrc_n10();
+    let (netlist, outline) = bench.with_pads_on_outline(1.0);
+    let problem = GlobalFloorplanProblem::from_netlist(
+        &netlist,
+        &ProblemOptions {
+            outline: Some(outline),
+            aspect_limit: 3.0,
+            ..ProblemOptions::default()
+        },
+    )
+    .expect("capture");
+    let fp = SdpFloorplanner::new(tiny_settings())
+        .solve(&problem)
+        .expect("sdp");
+    let legal = legalize(&netlist, &problem, &outline, &fp.positions, &tiny_legalize())
+        .expect("legalize");
+    assert_eq!(legal.rects.len(), problem.n);
+    assert!(legal.hpwl.is_finite() && legal.hpwl > 0.0);
+    // Loose budgets leave a little residual overlap; the slow-tier
+    // original enforces the tight bound.
+    for i in 0..legal.rects.len() {
+        for j in (i + 1)..legal.rects.len() {
+            assert!(
+                !legal.rects[i].overlaps_with_tol(&legal.rects[j], 2.5),
+                "overlap {i}-{j}"
+            );
+        }
+    }
+}
+
+/// Fast-tier variant of [`global_floorplan_is_deterministic`].
+#[test]
+fn global_floorplan_is_deterministic_fast() {
+    let bench = suite::gsrc_n10();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("capture");
+    let a = SdpFloorplanner::new(tiny_settings()).solve(&problem).expect("a");
+    let b = SdpFloorplanner::new(tiny_settings()).solve(&problem).expect("b");
+    for (pa, pb) in a.positions.iter().zip(b.positions.iter()) {
+        assert_eq!(pa, pb, "nondeterministic positions");
+    }
+    assert_eq!(a.iterations, b.iterations);
+}
+
+/// The supervised entry point drives the same cross-crate pipeline
+/// and reports a clean quality verdict on a healthy instance.
+#[test]
+fn supervised_solve_places_n10_fast() {
+    let bench = suite::gsrc_n10();
+    let (netlist, outline) = bench.with_pads_on_outline(1.0);
+    let problem = GlobalFloorplanProblem::from_netlist(
+        &netlist,
+        &ProblemOptions {
+            outline: Some(outline),
+            aspect_limit: 3.0,
+            ..ProblemOptions::default()
+        },
+    )
+    .expect("capture");
+    let result = SolveSupervisor::new(tiny_settings()).solve(&problem);
+    assert!(result.causes.is_empty(), "clean run degraded: {:?}", result.causes);
+    assert_eq!(result.floorplan.positions.len(), problem.n);
+    assert!(result
+        .floorplan
+        .positions
+        .iter()
+        .all(|p| p.0.is_finite() && p.1.is_finite()));
 }

@@ -1,27 +1,46 @@
 //! Tracked kernel benchmark baseline: serial vs parallel wall time for
-//! the three hot numeric kernels (`matmul`, `eigh`, `project_psd`) at
-//! n ∈ {50, 100, 200}, written to `BENCH_kernels.json` at the repo
-//! root so regressions show up in review diffs.
+//! the hot numeric kernels (`matmul`, `eigh`, `project_psd`,
+//! `lanczos`, `subproblem2`) at n ∈ {50, 100, 200}, plus the spectral
+//! fast-path and end-to-end sections, written to `BENCH_kernels.json`
+//! at the repo root so regressions show up in review diffs.
 //!
 //! Serial and parallel columns are measured in one process by swapping
 //! the thread-local `gfp-parallel` pool (1 worker vs `GFP_THREADS`,
-//! default 4), and every pair is checked for bitwise-identical output
-//! — the speedup column is only meaningful because the answers match
-//! exactly.
+//! default 4, clamped to the host CPU count), and every pair is
+//! checked for bitwise-identical output — the speedup column is only
+//! meaningful because the answers match exactly. On hosts with fewer
+//! CPUs than requested workers the adaptive cutover keeps the kernels
+//! on their serial paths, so the parallel column records ~1.0× instead
+//! of oversubscription losses; both the requested and the effective
+//! width are recorded.
+//!
+//! The `fastpath` section times dense vs deflated sub-problem 2 and
+//! reports the telemetry hit/fallback counts; the `e2e` section runs
+//! the supervised n200 solve in three configurations (pre-PR baseline
+//! with everything off, fast-path-off/reuse-on, all-on) and a
+//! 1/2/8-worker bitwise sweep of the all-on configuration.
 //!
 //! Flags:
-//! * `--smoke` — tiny sizes and sample counts, output to
-//!   `target/BENCH_kernels.smoke.json` (CI gate; does not disturb the
-//!   tracked baseline).
+//! * `--smoke` — tiny sizes and sample counts, no e2e section, output
+//!   to `target/BENCH_kernels.smoke.json` (CI gate; does not disturb
+//!   the tracked baseline).
 //! * `--out <path>` — override the output path.
 
 use std::path::PathBuf;
 
-use gfp_bench::microbench::{write_kernel_report, Group, KernelRecord};
-use gfp_conic::Cone;
-use gfp_linalg::{eigh, Mat};
+use gfp_bench::microbench::{
+    write_kernel_report, E2eReport, FastpathReport, Group, KernelRecord,
+};
+use gfp_conic::{AdmmSettings, Cone};
+use gfp_core::iterate::{Backend, FloorplannerSettings};
+use gfp_core::lifted::Lift;
+use gfp_core::subproblems::solve_subproblem2;
+use gfp_core::{GlobalFloorplanProblem, ProblemOptions, SolveSupervisor};
+use gfp_linalg::{eigh, fastpath, lanczos_extreme, Extreme, LanczosOptions, Mat};
+use gfp_netlist::suite;
 use gfp_parallel::{with_pool, ThreadPool};
 use gfp_rand::Rng;
+use gfp_telemetry as telemetry;
 
 fn random_mat(rng: &mut Rng, rows: usize, cols: usize) -> Mat {
     let mut m = Mat::zeros(rows, cols);
@@ -47,6 +66,13 @@ fn random_sym(rng: &mut Rng, n: usize) -> Mat {
 
 fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn counter(name: &str) -> u64 {
+    telemetry::counters_snapshot()
+        .into_iter()
+        .find(|(k, _)| *k == name)
+        .map_or(0, |(_, v)| v)
 }
 
 /// Benchmarks `f` under both pools and returns the record plus the
@@ -78,6 +104,125 @@ where
     }
 }
 
+/// A lifted `Z` whose spectrum looks like a converging iterate: two
+/// dominant Gram directions over a small slack floor — the shape the
+/// deflated fast path is built for.
+fn lifted_z(n: usize, seed: u64) -> Mat {
+    let lift = Lift::new(n);
+    let mut rng = Rng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (20.0 * rng.gen_f64(), 20.0 * rng.gen_f64()))
+        .collect();
+    let z = lift.embed_positions(&pos, 0.5);
+    lift.z_matrix(&z)
+}
+
+/// Dense vs deflated sub-problem 2 on the largest benched size, plus
+/// the run's accumulated fast-path telemetry (captured by the caller).
+fn fastpath_section(group: &Group, n: usize, samples: usize) -> FastpathReport {
+    let zm = lifted_z(n, 0xbe9c_0002);
+    let prev = fastpath::set_enabled(false);
+    let (w_dense, gap_dense) = solve_subproblem2(&zm, n).expect("dense subproblem2");
+    let dense_secs = group.bench(&format!("subproblem2/{n}/dense"), samples, || {
+        solve_subproblem2(&zm, n).expect("dense subproblem2")
+    });
+    fastpath::set_enabled(true);
+    let (w_fast, gap_fast) = solve_subproblem2(&zm, n).expect("fast subproblem2");
+    let fast_secs = group.bench(&format!("subproblem2/{n}/fastpath"), samples, || {
+        solve_subproblem2(&zm, n).expect("fast subproblem2")
+    });
+    fastpath::set_enabled(prev);
+    FastpathReport {
+        // Counter deltas are filled in by main() around the whole run.
+        lanczos_calls: 0,
+        eigh_partial_hits: 0,
+        eigh_partial_fallbacks: 0,
+        subproblem2_dense_secs: dense_secs,
+        subproblem2_fast_secs: fast_secs,
+        w_max_diff: (&w_fast - &w_dense).norm_max(),
+        gap_rel_diff: (gap_fast - gap_dense).abs() / (1.0 + gap_dense.abs()),
+    }
+}
+
+/// Budgeted supervised-solve settings for the e2e section: large-α
+/// profile from the paper's n ≥ 100 setup, trimmed to bench-friendly
+/// budgets. Quality is not the point here — identical budgets across
+/// configurations are.
+fn e2e_settings(fast: bool) -> FloorplannerSettings {
+    let mut s = FloorplannerSettings::fast();
+    s.alpha0 = 1024.0;
+    s.max_alpha_rounds = 2;
+    s.max_iter = 2;
+    s.backend = Backend::Admm(AdmmSettings {
+        eps: 1e-4,
+        max_iter: 1200,
+        ..AdmmSettings::default()
+    });
+    s.admm_reuse = fast;
+    s
+}
+
+fn solve_positions(
+    problem: &GlobalFloorplanProblem,
+    settings: &FloorplannerSettings,
+) -> (Vec<(f64, f64)>, f64) {
+    let t0 = std::time::Instant::now();
+    let result = SolveSupervisor::new(settings.clone()).solve(problem);
+    (result.floorplan.positions, t0.elapsed().as_secs_f64())
+}
+
+fn e2e_section() -> E2eReport {
+    let bench = suite::gsrc_n200();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("n200 problem");
+
+    // Pre-PR baseline: spectral fast path off, ADMM reuse off.
+    let prev = fastpath::set_enabled(false);
+    let (_, baseline_secs) = solve_positions(&problem, &e2e_settings(false));
+    println!("e2e/gsrc_n200/baseline      {baseline_secs:>8.2} s");
+
+    // Fast path off, reuse on: isolates the spectral approximation.
+    let (pos_no_fp, _) = solve_positions(&problem, &e2e_settings(true));
+
+    // All on, timed.
+    fastpath::set_enabled(true);
+    let warm0 = counter("admm.warm_reuse");
+    let (pos_fast, fast_secs) = solve_positions(&problem, &e2e_settings(true));
+    let admm_warm_reuse = counter("admm.warm_reuse") - warm0;
+    println!("e2e/gsrc_n200/fast          {fast_secs:>8.2} s");
+
+    // Worker sweep: the all-on configuration must be bitwise identical
+    // at 1, 2 and 8 workers. The host clamp is lifted so the parallel
+    // paths actually execute even on small hosts.
+    let unclamp = gfp_parallel::set_host_clamp(false);
+    let mut sweep: Vec<Vec<(f64, f64)>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let pool = ThreadPool::new(workers);
+        let (pos, _) = with_pool(&pool, || solve_positions(&problem, &e2e_settings(true)));
+        sweep.push(pos);
+    }
+    gfp_parallel::set_host_clamp(unclamp);
+    fastpath::set_enabled(prev);
+    let bitwise_match_threads = sweep[1..].iter().all(|pos| {
+        pos.len() == sweep[0].len()
+            && pos
+                .iter()
+                .zip(sweep[0].iter())
+                .all(|(a, b)| a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits())
+    });
+
+    E2eReport {
+        instance: "gsrc_n200".into(),
+        baseline_secs,
+        fast_secs,
+        hpwl_fast: gfp_netlist::hpwl::hpwl(&bench.netlist, &pos_fast),
+        hpwl_no_fastpath: gfp_netlist::hpwl::hpwl(&bench.netlist, &pos_no_fp),
+        admm_warm_reuse,
+        bitwise_match_threads,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -93,15 +238,26 @@ fn main() {
                 PathBuf::from("BENCH_kernels.json")
             }
         });
-    let workers: usize = std::env::var("GFP_THREADS")
+    let requested: usize = std::env::var("GFP_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    // Oversubscribing a small host turns "parallel" into pure context-
+    // switch overhead; the recorded effective width is what the
+    // speedup columns are measured against.
+    let effective = requested.min(gfp_parallel::host_cpus());
     let sizes: &[usize] = if smoke { &[50] } else { &[50, 100, 200] };
     let samples = if smoke { 2 } else { 5 };
 
+    // Counters (fast-path hit rates) only tick while telemetry is on;
+    // no sink is installed, so nothing is written anywhere.
+    telemetry::set_enabled(true);
+    let lanczos0 = counter("kernel.lanczos.calls");
+    let hits0 = counter("kernel.eigh_partial.hit");
+    let fb0 = counter("kernel.eigh_partial.fallback");
+
     let serial = ThreadPool::new(1);
-    let parallel = ThreadPool::new(workers);
+    let parallel = ThreadPool::new(effective);
     let group = Group::new("kernels");
     let mut rng = Rng::seed_from_u64(0xbe9c_0001);
     let mut records = Vec::new();
@@ -121,6 +277,14 @@ fn main() {
             flat
         }));
 
+        records.push(measure(&group, "lanczos", n, samples, &serial, &parallel, || {
+            let pe = lanczos_extreme(&sym, 2, Extreme::Largest, &LanczosOptions::default())
+                .expect("lanczos");
+            let mut flat = pe.values.clone();
+            flat.extend_from_slice(pe.vectors.as_slice());
+            flat
+        }));
+
         let v0 = gfp_linalg::svec::svec(&sym);
         let cone = Cone::Psd(n);
         records.push(measure(&group, "project_psd", n, samples, &serial, &parallel, || {
@@ -128,17 +292,44 @@ fn main() {
             cone.project(&mut v);
             v
         }));
+
+        // Sub-problem 2 under both pools (fast path at its default):
+        // bitwise determinism across worker counts is part of the
+        // fast path's contract too.
+        let zm = lifted_z(n, 0xbe9c_0003 ^ n as u64);
+        records.push(measure(&group, "subproblem2", n, samples, &serial, &parallel, || {
+            let (w, gap) = solve_subproblem2(&zm, n).expect("subproblem2");
+            let mut flat = w.as_slice().to_vec();
+            flat.push(gap);
+            flat
+        }));
     }
+
+    let mut fastpath_report = fastpath_section(&group, *sizes.last().unwrap(), samples);
+    let e2e = if smoke { None } else { Some(e2e_section()) };
+
+    fastpath_report.lanczos_calls = counter("kernel.lanczos.calls") - lanczos0;
+    fastpath_report.eigh_partial_hits = counter("kernel.eigh_partial.hit") - hits0;
+    fastpath_report.eigh_partial_fallbacks = counter("kernel.eigh_partial.fallback") - fb0;
 
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(parent);
         }
     }
-    write_kernel_report(&out_path, workers, &records).expect("write kernel report");
+    write_kernel_report(
+        &out_path,
+        requested,
+        effective,
+        &records,
+        Some(&fastpath_report),
+        e2e.as_ref(),
+    )
+    .expect("write kernel report");
 
     let all_match = records.iter().all(|r| r.bitwise_match);
     println!("\nwrote {} ({} records)", out_path.display(), records.len());
+    println!("workers: requested {requested}, effective {effective}");
     for r in &records {
         println!(
             "  {:<12} n={:<4} speedup {:>6.2}x  bitwise_match={}",
@@ -148,5 +339,27 @@ fn main() {
             r.bitwise_match
         );
     }
-    assert!(all_match, "serial and parallel outputs diverged");
+    println!(
+        "  fastpath: {} hits / {} fallbacks (hit rate {:.0}%), subproblem2 {:.2}x",
+        fastpath_report.eigh_partial_hits,
+        fastpath_report.eigh_partial_fallbacks,
+        100.0 * fastpath_report.hit_rate(),
+        fastpath_report.speedup(),
+    );
+    let mut ok = all_match;
+    if let Some(e) = &e2e {
+        println!(
+            "  e2e {}: baseline {:.1}s, fast {:.1}s ({:.2}x), hpwl rel diff {:.2e}, \
+             warm reuses {}, bitwise across workers: {}",
+            e.instance,
+            e.baseline_secs,
+            e.fast_secs,
+            e.speedup(),
+            e.hpwl_rel_diff(),
+            e.admm_warm_reuse,
+            e.bitwise_match_threads,
+        );
+        ok &= e.bitwise_match_threads;
+    }
+    assert!(ok, "serial and parallel outputs diverged");
 }

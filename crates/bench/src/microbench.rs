@@ -51,7 +51,8 @@ impl Group {
 /// `BENCH_kernels.json`.
 #[derive(Debug, Clone)]
 pub struct KernelRecord {
-    /// Kernel name (`matmul`, `eigh`, `project_psd`).
+    /// Kernel name (`matmul`, `eigh`, `project_psd`, `lanczos`,
+    /// `subproblem2`).
     pub kernel: String,
     /// Problem size (matrix dimension).
     pub n: usize,
@@ -74,27 +75,119 @@ impl KernelRecord {
     }
 }
 
-/// Writes the tracked kernel baseline as a JSON document.
+/// Spectral fast-path measurements: dense-vs-deflated sub-problem 2
+/// timings plus the telemetry hit/fallback counts accumulated over the
+/// benchmark run.
+#[derive(Debug, Clone, Default)]
+pub struct FastpathReport {
+    /// `kernel.lanczos.calls` delta over the run.
+    pub lanczos_calls: u64,
+    /// `kernel.eigh_partial.hit` delta (accepted fast-path solves).
+    pub eigh_partial_hits: u64,
+    /// `kernel.eigh_partial.fallback` delta (rejected, dense route).
+    pub eigh_partial_fallbacks: u64,
+    /// Mean seconds per dense sub-problem-2 solve (fast path off).
+    pub subproblem2_dense_secs: f64,
+    /// Mean seconds per deflated sub-problem-2 solve (fast path on).
+    pub subproblem2_fast_secs: f64,
+    /// `|W_fast − W_dense|∞` on the measured instance.
+    pub w_max_diff: f64,
+    /// Relative rank-gap difference on the measured instance.
+    pub gap_rel_diff: f64,
+}
+
+impl FastpathReport {
+    /// Fraction of gated sub-problem-2/PSD calls the fast path served.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.eigh_partial_hits + self.eigh_partial_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.eigh_partial_hits as f64 / total as f64
+        }
+    }
+
+    /// Dense-over-fast wall-time ratio for sub-problem 2.
+    pub fn speedup(&self) -> f64 {
+        if self.subproblem2_fast_secs > 0.0 {
+            self.subproblem2_dense_secs / self.subproblem2_fast_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// End-to-end supervised-solve measurements on one suite instance.
+#[derive(Debug, Clone)]
+pub struct E2eReport {
+    /// Suite instance name (e.g. `gsrc_n200`).
+    pub instance: String,
+    /// Seconds for the pre-PR configuration (fast path off, ADMM
+    /// reuse off).
+    pub baseline_secs: f64,
+    /// Seconds with the spectral fast path and ADMM reuse on.
+    pub fast_secs: f64,
+    /// Final HPWL of the all-on run.
+    pub hpwl_fast: f64,
+    /// Final HPWL with the fast path off (reuse still on) — isolates
+    /// the spectral approximation's effect on quality.
+    pub hpwl_no_fastpath: f64,
+    /// `admm.warm_reuse` delta over the all-on run.
+    pub admm_warm_reuse: u64,
+    /// Whether the all-on run is bitwise identical at 1, 2 and 8
+    /// workers.
+    pub bitwise_match_threads: bool,
+}
+
+impl E2eReport {
+    /// Baseline-over-fast wall-time ratio (>1: the fast paths win).
+    pub fn speedup(&self) -> f64 {
+        if self.fast_secs > 0.0 {
+            self.baseline_secs / self.fast_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Relative HPWL difference between fast-path-on and -off runs.
+    pub fn hpwl_rel_diff(&self) -> f64 {
+        (self.hpwl_fast - self.hpwl_no_fastpath).abs() / (1.0 + self.hpwl_no_fastpath.abs())
+    }
+}
+
+/// Writes the tracked kernel baseline as a JSON document
+/// (`gfp-kernel-bench-v2`).
 ///
 /// Hand-rolled serialization (the workspace is offline and std-only),
-/// matching the telemetry crate's JSONL conventions.
+/// matching the telemetry crate's JSONL conventions. `requested`
+/// workers is the configured pool width, `effective` the width after
+/// clamping to the host's CPU count — speedup columns are only
+/// meaningful relative to the effective width.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from writing `path`.
 pub fn write_kernel_report(
     path: &std::path::Path,
-    parallel_workers: usize,
+    requested_workers: usize,
+    effective_workers: usize,
     records: &[KernelRecord],
+    fastpath: Option<&FastpathReport>,
+    e2e: Option<&E2eReport>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"gfp-kernel-bench-v1\",\n");
+    out.push_str("  \"schema\": \"gfp-kernel-bench-v2\",\n");
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
         std::thread::available_parallelism().map_or(1, |p| p.get())
     ));
-    out.push_str(&format!("  \"parallel_workers\": {parallel_workers},\n"));
+    out.push_str(&format!(
+        "  \"requested_workers\": {requested_workers},\n"
+    ));
+    out.push_str(&format!(
+        "  \"effective_workers\": {effective_workers},\n"
+    ));
     out.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -109,7 +202,44 @@ pub fn write_kernel_report(
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    match fastpath {
+        Some(f) => out.push_str(&format!(
+            "  \"fastpath\": {{\"lanczos_calls\": {}, \"eigh_partial_hits\": {}, \
+             \"eigh_partial_fallbacks\": {}, \"hit_rate\": {:.4}, \
+             \"subproblem2_dense_secs\": {:.9}, \"subproblem2_fast_secs\": {:.9}, \
+             \"speedup\": {:.4}, \"w_max_diff\": {:.3e}, \"gap_rel_diff\": {:.3e}}},\n",
+            f.lanczos_calls,
+            f.eigh_partial_hits,
+            f.eigh_partial_fallbacks,
+            f.hit_rate(),
+            f.subproblem2_dense_secs,
+            f.subproblem2_fast_secs,
+            f.speedup(),
+            f.w_max_diff,
+            f.gap_rel_diff,
+        )),
+        None => out.push_str("  \"fastpath\": null,\n"),
+    }
+    match e2e {
+        Some(e) => out.push_str(&format!(
+            "  \"e2e\": {{\"instance\": \"{}\", \"baseline_secs\": {:.3}, \
+             \"fast_secs\": {:.3}, \"speedup\": {:.4}, \"hpwl_fast\": {:.6}, \
+             \"hpwl_no_fastpath\": {:.6}, \"hpwl_rel_diff\": {:.3e}, \
+             \"admm_warm_reuse\": {}, \"bitwise_match\": {}}}\n",
+            e.instance,
+            e.baseline_secs,
+            e.fast_secs,
+            e.speedup(),
+            e.hpwl_fast,
+            e.hpwl_no_fastpath,
+            e.hpwl_rel_diff(),
+            e.admm_warm_reuse,
+            e.bitwise_match_threads,
+        )),
+        None => out.push_str("  \"e2e\": null\n"),
+    }
+    out.push_str("}\n");
     std::fs::write(path, out)
 }
 
@@ -145,11 +275,47 @@ mod tests {
             bitwise_match: true,
         };
         assert!((rec.speedup() - 2.0).abs() < 1e-12);
+        let fast = FastpathReport {
+            lanczos_calls: 10,
+            eigh_partial_hits: 6,
+            eigh_partial_fallbacks: 2,
+            subproblem2_dense_secs: 4.0e-3,
+            subproblem2_fast_secs: 1.0e-3,
+            w_max_diff: 1e-9,
+            gap_rel_diff: 1e-12,
+        };
+        assert!((fast.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((fast.speedup() - 4.0).abs() < 1e-12);
+        let e2e = E2eReport {
+            instance: "gsrc_n200".into(),
+            baseline_secs: 30.0,
+            fast_secs: 15.0,
+            hpwl_fast: 1000.0,
+            hpwl_no_fastpath: 1000.0001,
+            admm_warm_reuse: 7,
+            bitwise_match_threads: true,
+        };
+        assert!((e2e.speedup() - 2.0).abs() < 1e-12);
+        assert!(e2e.hpwl_rel_diff() < 1e-6);
         let dir = std::env::temp_dir().join("gfp_kernel_report_test.json");
-        write_kernel_report(&dir, 4, &[rec]).unwrap();
+        write_kernel_report(&dir, 4, 1, &[rec], Some(&fast), Some(&e2e)).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
-        assert!(text.contains("\"schema\": \"gfp-kernel-bench-v1\""));
+        assert!(text.contains("\"schema\": \"gfp-kernel-bench-v2\""));
+        assert!(text.contains("\"requested_workers\": 4"));
+        assert!(text.contains("\"effective_workers\": 1"));
         assert!(text.contains("\"speedup\": 2.0000"));
+        assert!(text.contains("\"hit_rate\": 0.7500"));
+        assert!(text.contains("\"instance\": \"gsrc_n200\""));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn report_without_optional_sections_emits_nulls() {
+        let dir = std::env::temp_dir().join("gfp_kernel_report_null_test.json");
+        write_kernel_report(&dir, 2, 2, &[], None, None).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"fastpath\": null"));
+        assert!(text.contains("\"e2e\": null"));
         let _ = std::fs::remove_file(&dir);
     }
 

@@ -76,6 +76,74 @@ pub struct IterationStats {
     pub dual_residual: f64,
 }
 
+/// Constraint-derived state reused across consecutive ADMM solves of
+/// programs that share the same `A` and cone list — exactly the shape
+/// of the convex-iteration α rounds, where only the objective `c` (via
+/// `α·W`) and occasionally `b` change between calls.
+///
+/// Holds the equilibrated constraint matrix, the accumulated Ruiz
+/// scaling, the Jacobi preconditioner of the CG normal operator (all
+/// pure functions of `A` + cones, validated by exact comparison
+/// against the caller's `A`), the CG scratch workspace, and the final
+/// primal/dual iterate of the previous solve for warm starting.
+///
+/// Pass a `Default`-constructed value to
+/// [`AdmmSolver::solve_with_reuse`]; the first call fills it, later
+/// calls skip the Ruiz loop and start from the carried duals. A solve
+/// that diverges clears the carried iterate so a poisoned state is
+/// never re-entered.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmReuse {
+    cache: Option<AdmmCache>,
+    warm: Option<AdmmWarmState>,
+    cg_ws: Option<CgWorkspace>,
+}
+
+impl AdmmReuse {
+    /// Fresh, empty reuse state (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a carried iterate from a previous solve is available.
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Drops the carried iterate (keeps the constraint cache, which
+    /// is validated against `A` on every solve anyway).
+    pub fn clear_warm(&mut self) {
+        self.warm = None;
+    }
+}
+
+/// Cached scaling work keyed (by exact comparison) on the original
+/// constraint matrix.
+#[derive(Debug, Clone)]
+struct AdmmCache {
+    /// The caller's `A` exactly as given, for validity checking.
+    a_orig: CsrMat,
+    /// Equilibrated `D·A·E`.
+    a_scaled: CsrMat,
+    /// Accumulated Ruiz scaling.
+    eq: Equilibration,
+    /// `diag(εI + AᵀA)` of the scaled matrix (Jacobi preconditioner).
+    diag: Vec<f64>,
+    /// Number of Ruiz rounds the cache was built with.
+    scaling_iters: usize,
+    /// Proximal ε baked into `diag`.
+    prox_eps: f64,
+}
+
+/// Final unscaled iterate of a completed solve, mapped back into the
+/// next solve's scaled space when the constraint cache is valid.
+#[derive(Debug, Clone)]
+struct AdmmWarmState {
+    y: Vec<f64>,
+    s: Vec<f64>,
+    rho: f64,
+}
+
 /// The normal operator `M = εI + AᵀA` applied matrix-free.
 struct NormalOp<'a> {
     a: &'a CsrMat,
@@ -139,6 +207,36 @@ impl AdmmSolver {
         program: &ConeProgram,
         warm: Option<&[f64]>,
     ) -> Result<(Solution, Vec<IterationStats>), ConicError> {
+        self.solve_inner(program, warm, None)
+    }
+
+    /// Like [`solve_with_trace`](Self::solve_with_trace), but carries
+    /// constraint-derived work and the final iterate across solves via
+    /// `reuse` (see [`AdmmReuse`]). When the program's `A` matches the
+    /// cached one exactly, the Ruiz equilibration and preconditioner
+    /// are reused and the previous solve's duals warm-start this one;
+    /// otherwise the call behaves exactly like a cold solve and
+    /// refills the cache. A first call with an empty `reuse` is
+    /// bitwise identical to [`solve_with_trace`](Self::solve_with_trace).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with_reuse(
+        &self,
+        program: &ConeProgram,
+        warm: Option<&[f64]>,
+        reuse: &mut AdmmReuse,
+    ) -> Result<(Solution, Vec<IterationStats>), ConicError> {
+        self.solve_inner(program, warm, Some(reuse))
+    }
+
+    fn solve_inner(
+        &self,
+        program: &ConeProgram,
+        warm: Option<&[f64]>,
+        mut reuse: Option<&mut AdmmReuse>,
+    ) -> Result<(Solution, Vec<IterationStats>), ConicError> {
         program.validate()?;
         let _span = telemetry::span("admm.solve");
         let t0 = Instant::now();
@@ -154,13 +252,68 @@ impl AdmmSolver {
         }
 
         // --- scaled copies -------------------------------------------------
-        let mut a = program.a.clone();
+        // The equilibration (and the preconditioner below) are pure
+        // functions of `A` and the cone list: the Ruiz loop reads only
+        // A's row/column norms, and `b`/`c` are scaled once at the end
+        // by the accumulated diagonals. A reusing caller with an
+        // unchanged `A` therefore skips straight to that final
+        // elementwise scaling — bitwise identical to recomputing.
         let mut b = program.b.clone();
         let mut c = program.c.clone();
-        let eq = if st.scaling_iters > 0 {
-            equilibrate(&mut a, &mut b, &mut c, &program.cones, st.scaling_iters)
+        let cache_valid = reuse
+            .as_deref()
+            .and_then(|r| r.cache.as_ref())
+            .is_some_and(|cache| {
+                cache.scaling_iters == st.scaling_iters
+                    && cache.prox_eps == st.prox_eps
+                    && cache.a_orig == program.a
+            });
+        let (a, eq, diag) = if cache_valid {
+            let cache = reuse
+                .as_deref_mut()
+                .and_then(|r| r.cache.as_mut())
+                .expect("cache checked above");
+            for (bi, &di) in b.iter_mut().zip(cache.eq.d.iter()) {
+                *bi *= di;
+            }
+            for (ci, &ei) in c.iter_mut().zip(cache.eq.e.iter()) {
+                *ci *= ei;
+            }
+            telemetry::counter_add("admm.cache_hit", 1);
+            (
+                cache.a_scaled.clone(),
+                cache.eq.clone(),
+                cache.diag.clone(),
+            )
         } else {
-            Equilibration::identity(m, d)
+            let mut a = program.a.clone();
+            let eq = if st.scaling_iters > 0 {
+                equilibrate(&mut a, &mut b, &mut c, &program.cones, st.scaling_iters)
+            } else {
+                Equilibration::identity(m, d)
+            };
+            // Jacobi preconditioner: diag(εI + AᵀA).
+            let mut diag = vec![st.prox_eps; d];
+            for i in 0..m {
+                for (j, v) in a.row_iter(i) {
+                    diag[j] += v * v;
+                }
+            }
+            if let Some(r) = reuse.as_deref_mut() {
+                // A changed (or first call): the carried iterate
+                // belongs to a different geometry, drop it.
+                r.warm = None;
+                r.cache = Some(AdmmCache {
+                    a_orig: program.a.clone(),
+                    a_scaled: a.clone(),
+                    eq: eq.clone(),
+                    diag: diag.clone(),
+                    scaling_iters: st.scaling_iters,
+                    prox_eps: st.prox_eps,
+                });
+                telemetry::counter_add("admm.cache_build", 1);
+            }
+            (a, eq, diag)
         };
         // Scalar normalization: b <- sb*b, c <- sc*c with unit norms.
         let (sb, sc) = if st.normalize {
@@ -182,13 +335,6 @@ impl AdmmSolver {
             eps: st.prox_eps,
             scratch: std::cell::RefCell::new(vec![0.0; m]),
         };
-        // Jacobi preconditioner: diag(εI + AᵀA).
-        let mut diag = vec![st.prox_eps; d];
-        for i in 0..m {
-            for (j, v) in a.row_iter(i) {
-                diag[j] += v * v;
-            }
-        }
 
         // --- state ---------------------------------------------------------
         let mut x = match warm {
@@ -198,10 +344,36 @@ impl AdmmSolver {
             }
             None => vec![0.0; d],
         };
-        let mut s = b.clone();
-        project_product(&program.cones, &mut s);
-        let mut y = vec![0.0; m];
+        let mut s = Vec::new();
+        let mut y = Vec::new();
         let mut rho = st.rho;
+        let mut warm_duals = false;
+        if cache_valid {
+            if let Some(w) = reuse.as_deref().and_then(|r| r.warm.as_ref()) {
+                if w.y.len() == m && w.s.len() == m {
+                    // Map the previous solve's final iterate into this
+                    // solve's scaled space: s̃ = sb·D·s, ỹ = sc·D⁻¹·y.
+                    // The row scaling is uniform within SOC/PSD blocks
+                    // and positive, so the mapped s̃ stays in the cone.
+                    s = w.s.clone();
+                    for (si, &di) in s.iter_mut().zip(eq.d.iter()) {
+                        *si = sb * (di * *si);
+                    }
+                    y = w.y.clone();
+                    for (yi, &di) in y.iter_mut().zip(eq.d.iter()) {
+                        *yi = sc * (*yi / di);
+                    }
+                    rho = w.rho;
+                    warm_duals = true;
+                    telemetry::counter_add("admm.warm_reuse", 1);
+                }
+            }
+        }
+        if !warm_duals {
+            s = b.clone();
+            project_product(&program.cones, &mut s);
+            y = vec![0.0; m];
+        }
 
         let norm_b_unscaled = {
             let mut t = b.clone();
@@ -219,7 +391,13 @@ impl AdmmSolver {
         let mut ax_or = vec![0.0; m];
         let mut pr = vec![0.0; m];
         let mut aty = vec![0.0; d];
-        let mut cg_ws = CgWorkspace::new(d);
+        // CG scratch survives across reusing solves (it is fully
+        // overwritten on every call, so carrying it is free and
+        // bitwise neutral).
+        let mut cg_ws = reuse
+            .as_deref_mut()
+            .and_then(|r| r.cg_ws.take())
+            .unwrap_or_else(|| CgWorkspace::new(d));
         let mut status = SolveStatus::MaxIterations;
         let mut iterations_used = st.max_iter;
         let mut pri_rel = f64::INFINITY;
@@ -338,6 +516,13 @@ impl AdmmSolver {
                 // growth is the practical signal.
                 let xn = norm2(&x);
                 if !xn.is_finite() || xn > 1e12 {
+                    if let Some(r) = reuse.as_deref_mut() {
+                        // Never carry a diverged iterate into the next
+                        // solve; the constraint cache stays (it is a
+                        // pure function of A).
+                        r.warm = None;
+                        r.cg_ws = Some(cg_ws);
+                    }
                     return Err(ConicError::Diverged {
                         iterations: iter,
                         primal_residual: pri_rel,
@@ -377,6 +562,15 @@ impl AdmmSolver {
             *v /= sc;
         }
         let objective = dot(&program.c, &x);
+
+        if let Some(r) = reuse.as_deref_mut() {
+            r.warm = Some(AdmmWarmState {
+                y: y.clone(),
+                s: s.clone(),
+                rho,
+            });
+            r.cg_ws = Some(cg_ws);
+        }
 
         if telemetry::enabled() {
             telemetry::event(
@@ -537,6 +731,109 @@ mod tests {
         });
         let sol = solver.solve(&p).unwrap();
         assert_eq!(sol.status, SolveStatus::MaxIterations);
+    }
+
+    /// A small SDP shaped like the floorplanning sub-problem: PSD
+    /// variable with linear constraints, objective varied across
+    /// "rounds" while A stays fixed.
+    fn round_program(weight: f64) -> ConeProgram {
+        use gfp_linalg::svec::svec_index;
+        let mut b = ConeProgramBuilder::new(6);
+        b.set_objective_coeff(svec_index(3, 0, 0), 1.0);
+        b.set_objective_coeff(svec_index(3, 1, 1), weight);
+        b.set_objective_coeff(svec_index(3, 2, 2), 1.0);
+        b.add_eq(&[(svec_index(3, 0, 0), 1.0)], 1.0);
+        b.add_ge(&[(svec_index(3, 1, 1), 1.0)], 2.0);
+        b.add_ge(&[(svec_index(3, 2, 2), 1.0)], 0.5);
+        b.add_psd_vars(&[0, 1, 2, 3, 4, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_reusing_solve_is_bitwise_identical_to_cold() {
+        let p = round_program(1.0);
+        let solver = AdmmSolver::new(AdmmSettings {
+            eps: 1e-7,
+            ..AdmmSettings::default()
+        });
+        let (cold, cold_trace) = solver.solve_with_trace(&p, None).unwrap();
+        let mut reuse = AdmmReuse::new();
+        let (first, first_trace) = solver.solve_with_reuse(&p, None, &mut reuse).unwrap();
+        assert_eq!(cold.x.len(), first.x.len());
+        for (a, b) in cold.x.iter().zip(first.x.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "x must match bitwise");
+        }
+        for (a, b) in cold.y.iter().zip(first.y.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "y must match bitwise");
+        }
+        assert_eq!(cold_trace.len(), first_trace.len());
+        assert!(reuse.is_warm(), "reuse must capture the final iterate");
+    }
+
+    #[test]
+    fn warm_reuse_matches_cold_solution_and_saves_iterations() {
+        let solver = AdmmSolver::new(AdmmSettings {
+            eps: 1e-7,
+            ..AdmmSettings::default()
+        });
+        let mut reuse = AdmmReuse::new();
+        // Round 1 fills the cache and the carried iterate.
+        let p1 = round_program(1.0);
+        let (cold1, _) = solver.solve_with_reuse(&p1, None, &mut reuse).unwrap();
+        // Round 2: a gently scaled objective, same A — the α-round
+        // pattern the reuse is designed for. The carried duals must
+        // converge to the cold answer, faster.
+        let p2 = round_program(1.1);
+        let (warm, _) = solver.solve_with_reuse(&p2, None, &mut reuse).unwrap();
+        let (cold, _) = solver.solve_with_trace(&p2, None).unwrap();
+        assert!(warm.status.is_usable() && cold.status.is_usable());
+        assert!(
+            (warm.objective - cold.objective).abs() <= 1e-5 * (1.0 + cold.objective.abs()),
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        for (w, c) in warm.x.iter().zip(cold.x.iter()) {
+            assert!((w - c).abs() < 1e-4, "warm x {w} vs cold x {c}");
+        }
+        assert!(
+            warm.info.iterations <= cold.info.iterations,
+            "warm start must not be slower on a near-identical round: warm {} vs cold {}",
+            warm.info.iterations,
+            cold.info.iterations
+        );
+        // Re-solving the *same* program from its own solution must be
+        // close to free.
+        let (resolved, _) = solver.solve_with_reuse(&p2, None, &mut reuse).unwrap();
+        assert!(
+            resolved.info.iterations < cold1.info.iterations,
+            "re-solve from optimum took {} iterations",
+            resolved.info.iterations
+        );
+    }
+
+    #[test]
+    fn changing_a_invalidates_cache_and_warm_state() {
+        let solver = AdmmSolver::new(AdmmSettings::default());
+        let mut reuse = AdmmReuse::new();
+        let p1 = round_program(1.0);
+        solver.solve_with_reuse(&p1, None, &mut reuse).unwrap();
+        assert!(reuse.is_warm());
+        // Different constraint matrix: a plain LP.
+        let mut b = ConeProgramBuilder::new(2);
+        b.set_objective_coeff(0, -1.0);
+        b.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
+        b.add_ge(&[(0, 1.0)], 0.0);
+        b.add_ge(&[(1, 1.0)], 0.0);
+        let p2 = b.build().unwrap();
+        let (sol, _) = solver.solve_with_reuse(&p2, None, &mut reuse).unwrap();
+        assert!((sol.objective + 1.0).abs() < 1e-4, "obj {}", sol.objective);
+        // The cold p2 result must be reproduced exactly despite the
+        // stale cache (it was rebuilt, and the carried duals dropped).
+        let (cold, _) = solver.solve_with_trace(&p2, None).unwrap();
+        for (a, b) in sol.x.iter().zip(cold.x.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rebuilt cache must match cold");
+        }
     }
 
     #[test]

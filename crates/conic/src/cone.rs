@@ -1,5 +1,5 @@
 use gfp_linalg::svec::{smat, svec_into, svec_len};
-use gfp_linalg::{eigh, spectral_accumulate, vec_ops};
+use gfp_linalg::{eigh, spectral_accumulate, spectral_side, vec_ops, SideKind};
 use gfp_telemetry as telemetry;
 
 /// One factor of the Cartesian product cone `K`.
@@ -175,6 +175,21 @@ fn project_psd(v: &mut [f64], n: usize) {
         }
         None => {}
     }
+    // Partial-spectrum fast path: the projection only needs one side
+    // of the spectrum (whichever has fewer significant eigenvalues),
+    // and `spectral_side` extracts exactly that side by tridiagonal
+    // bisection + inverse iteration — skipping the O(n³) accumulation
+    // of `Q` and the full QL sweep that dominate a dense `eigh`. The
+    // Sturm counts certify the side is complete; any doubt (side too
+    // large, uncertified residual) falls through to the exact path.
+    if n >= PSD_PARTIAL_MIN_N && gfp_linalg::fastpath::enabled() {
+        if try_partial_psd(&m, v) {
+            telemetry::counter_add("kernel.eigh_partial.hit", 1);
+            record_psd(timer, "partial");
+            return;
+        }
+        telemetry::counter_add("kernel.eigh_partial.fallback", 1);
+    }
     let e = match eigh(&m) {
         Ok(e) => e,
         Err(_) => {
@@ -195,6 +210,17 @@ fn project_psd(v: &mut [f64], n: usize) {
     //   P = M + Σ_{λ<0} (−λ) v vᵀ     (negative side).
     let nneg = e.values.iter().take_while(|&&l| l < 0.0).count();
     let npos = e.values.iter().rev().take_while(|&&l| l > 0.0).count();
+    // Spectrum-shape counters: how much of each side a partial solver
+    // would have had to enumerate at the fast path's truncation cut
+    // (drives the fast-path side choice and `max_frac` tuning).
+    if telemetry::enabled() {
+        let scale = e.values[0].abs().max(e.values[n - 1].abs());
+        let cut = PSD_PARTIAL_TOL * scale;
+        let sig_neg = e.values.iter().filter(|&&l| l < -cut).count();
+        let sig_pos = e.values.iter().filter(|&&l| l > cut).count();
+        telemetry::counter_add("kernel.project_psd.nneg_sum", sig_neg as u64);
+        telemetry::counter_add("kernel.project_psd.npos_sum", sig_pos as u64);
+    }
     if npos == 0 {
         v.fill(0.0);
         record_psd(timer, "all_nonpos");
@@ -237,6 +263,65 @@ fn project_psd(v: &mut [f64], n: usize) {
     record_psd(timer, "eigh");
 }
 
+/// Block size from which the partial-spectrum projection is worth
+/// attempting; below it the dense path is already cheap.
+const PSD_PARTIAL_MIN_N: usize = 64;
+
+/// Relative truncation cut for the partial path: eigenvalues inside
+/// `±tol·scale` are treated as zero. Their contribution to the
+/// projection is within the error already accepted from the certified
+/// residuals, and without the cutoff a cluster of ~0 eigenvalues
+/// (typical near ADMM convergence) would force the dense fallback on
+/// every call.
+const PSD_PARTIAL_TOL: f64 = 1e-9;
+
+/// Largest fraction of the spectrum the partial path will enumerate.
+/// Past this point bisection + inverse iteration costs about as much
+/// as the QL sweep it replaces, so the dense path wins.
+const PSD_PARTIAL_MAX_FRAC: f64 = 0.75;
+
+/// Attempts to project the PSD block via one side of the spectrum:
+/// `spectral_side` picks whichever side of the cut has fewer
+/// eigenvalues (Sturm counts make the choice exact) and certifies
+/// every returned pair. Reconstruction uses the side it got:
+///   P = Σ_{λ>cut} λ v vᵀ             (positive side), or
+///   P = M + Σ_{λ<−cut} (−λ) v vᵀ     (negative side).
+/// Returns `false` (leaving `v` untouched) whenever the side cannot
+/// be certified — the caller then runs the dense path.
+///
+/// The decision is a pure function of the block data (never of global
+/// adaptive state), so concurrent block projections inside
+/// `project_product` stay bitwise deterministic.
+fn try_partial_psd(m: &gfp_linalg::Mat, v: &mut [f64]) -> bool {
+    let side = match spectral_side(m, PSD_PARTIAL_TOL, PSD_PARTIAL_MAX_FRAC) {
+        Ok(Some(side)) => side,
+        _ => return false,
+    };
+    let q = side.values.len();
+    match side.kind {
+        SideKind::Negative => {
+            if q == 0 {
+                // No eigenvalue below −cut: the block is PSD within
+                // the truncation tolerance; projection is identity.
+                return true;
+            }
+            let negated: Vec<f64> = side.values.iter().map(|&l| -l).collect();
+            let out = spectral_accumulate(&side.vectors, &negated, 0..q, Some(m));
+            svec_into(&out, v);
+        }
+        SideKind::Positive => {
+            if q == 0 {
+                // No eigenvalue above +cut: numerically NSD.
+                v.fill(0.0);
+                return true;
+            }
+            let out = spectral_accumulate(&side.vectors, &side.values, 0..q, None);
+            svec_into(&out, v);
+        }
+    }
+    true
+}
+
 /// Telemetry for one finished PSD projection, tagged by which path
 /// resolved it.
 fn record_psd(timer: Option<std::time::Instant>, path: &'static str) {
@@ -273,8 +358,14 @@ const PROJECT_BATCH_MIN_SLOTS: usize = 1024;
 pub(crate) fn project_product(cones: &[Cone], v: &mut [f64]) {
     let total: usize = cones.iter().map(Cone::dim).sum();
     assert_eq!(total, v.len(), "cone product dimension mismatch");
-    let nthreads = gfp_parallel::current_num_threads();
-    if nthreads == 1 || cones.len() <= 1 || total < 2 * PROJECT_BATCH_MIN_SLOTS {
+    let nthreads = gfp_parallel::effective_num_threads();
+    if cones.len() <= 1
+        || !gfp_parallel::should_parallelize(
+            total,
+            2 * PROJECT_BATCH_MIN_SLOTS,
+            PROJECT_BATCH_MIN_SLOTS / 2,
+        )
+    {
         project_product_seq(cones, v);
         return;
     }

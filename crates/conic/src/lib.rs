@@ -56,7 +56,7 @@ mod scaling;
 
 pub mod ipm;
 
-pub use admm::{AdmmSettings, AdmmSolver, IterationStats};
+pub use admm::{AdmmReuse, AdmmSettings, AdmmSolver, IterationStats};
 pub use cone::Cone;
 pub use error::ConicError;
 pub use program::{ConeProgram, ConeProgramBuilder};

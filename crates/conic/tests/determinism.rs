@@ -34,8 +34,24 @@ fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
     }
 }
 
+/// Disables the host-CPU clamp for the test's duration so the
+/// parallel code paths execute even on single-core CI hosts. The
+/// restore-on-drop guard keeps the flag sane across test ordering.
+struct UnclampGuard(bool);
+impl UnclampGuard {
+    fn new() -> Self {
+        UnclampGuard(gfp_parallel::set_host_clamp(false))
+    }
+}
+impl Drop for UnclampGuard {
+    fn drop(&mut self) {
+        gfp_parallel::set_host_clamp(self.0);
+    }
+}
+
 #[test]
 fn psd_projection_is_bitwise_deterministic_across_worker_counts() {
+    let _unclamp = UnclampGuard::new();
     let mut rng = Rng::seed_from_u64(0x5eed_1001);
     // 20 uses the direct small-n path, 60 the banded spectral kernel.
     for n in [20, 60] {
@@ -116,6 +132,7 @@ fn admm_residual_trajectory_is_identical_across_repeat_solves() {
 
 #[test]
 fn admm_solve_is_bitwise_deterministic_across_worker_counts() {
+    let _unclamp = UnclampGuard::new();
     let (ref_sol, ref_trace) = with_pool(&ThreadPool::new(1), solve_sdp);
     let reference = flatten(&ref_sol, &ref_trace);
     for workers in [2, 8] {

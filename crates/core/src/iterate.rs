@@ -8,13 +8,13 @@
 //! iterations (Eq. 20 and the hyper-edge model).
 
 use gfp_conic::ipm::BarrierSettings;
-use gfp_conic::{AdmmSettings, SolveStatus};
+use gfp_conic::{AdmmReuse, AdmmSettings, SolveStatus};
 use gfp_linalg::Mat;
 use gfp_telemetry as telemetry;
 
 use crate::enhance::{effective_adjacency, Enhancements};
 use crate::lifted::{objective_matrix, Lift};
-use crate::subproblems::{solve_subproblem1, solve_subproblem2, Sp1Backend};
+use crate::subproblems::{solve_subproblem1_with_reuse, solve_subproblem2, Sp1Backend};
 use crate::{FloorplanError, GlobalFloorplanProblem};
 
 /// Conic backend selection for sub-problem 1.
@@ -49,6 +49,13 @@ pub struct FloorplannerSettings {
     pub backend: Backend,
     /// Warm-start each sub-problem-1 solve from the previous `Z`.
     pub warm_start: bool,
+    /// Carry ADMM work across sub-problem-1 solves: the constraint
+    /// matrix of Eq. 18 never changes within a run (only the objective
+    /// moves with `α` and `W`), so the Ruiz equilibration, Jacobi
+    /// preconditioner and CG workspace are computed once and the dual
+    /// iterates warm-start every later solve. Purely a performance
+    /// knob for the ADMM backend; ignored by the IPM.
+    pub admm_reuse: bool,
     /// Reset the direction matrix `W` to the identity (trace
     /// heuristic) at the start of every α round, exactly as Algorithm
     /// 1 line 3 prescribes. With generous inner budgets this matches
@@ -74,6 +81,7 @@ impl Default for FloorplannerSettings {
                 ..AdmmSettings::default()
             }),
             warm_start: true,
+            admm_reuse: true,
             reset_direction: false,
         }
     }
@@ -166,6 +174,12 @@ pub struct OuterState {
     pub carried_w: Option<Mat>,
     /// Warm-start `svec(Z)` for the next sub-problem-1 solve.
     pub warm_z: Option<Vec<f64>>,
+    /// Cross-solve ADMM reuse state (equilibration cache, CG
+    /// workspace and warm duals; see
+    /// [`FloorplannerSettings::admm_reuse`]). Cloned with the rest of
+    /// the state, so supervisor checkpoints roll it back along with
+    /// everything else.
+    pub admm_reuse: AdmmReuse,
     /// Best iterate so far.
     pub best: Option<BestIterate>,
     /// Per-iteration trace.
@@ -196,6 +210,7 @@ impl OuterState {
             global_iter: 0,
             carried_w: None,
             warm_z,
+            admm_reuse: AdmmReuse::new(),
             best: None,
             trace: Vec::new(),
             converged: false,
@@ -378,7 +393,12 @@ pub fn run_alpha_round(
         } else {
             None
         };
-        let sp1 = solve_subproblem1(problem, &a_eff, &objective, backend, warm)?;
+        let reuse = if st.admm_reuse {
+            Some(&mut state.admm_reuse)
+        } else {
+            None
+        };
+        let sp1 = solve_subproblem1_with_reuse(problem, &a_eff, &objective, backend, warm, reuse)?;
         let z = sp1.z.clone();
         guard_finite(&z, "subproblem1")?;
         let z_mat = lift.z_matrix(&z);

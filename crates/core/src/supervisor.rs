@@ -7,9 +7,10 @@
 //! layer built for unattended runs:
 //!
 //! * **Checkpoint/resume** — the outer-loop state ([`OuterState`]: α,
-//!   the direction matrix `W`, the warm-start `Z` and the best iterate
-//!   seen so far) is checkpointed before every α round; a failed round
-//!   is rolled back instead of poisoning the run.
+//!   the direction matrix `W`, the warm-start `Z`, the cross-solve
+//!   ADMM reuse state and the best iterate seen so far) is
+//!   checkpointed before every α round; a failed round is rolled back
+//!   instead of poisoning the run.
 //! * **Backend fallback** — on failure the sub-problem-1 backend is
 //!   swapped (ADMM ↔ dense barrier IPM) and the round retried from the
 //!   checkpoint.
@@ -344,6 +345,10 @@ impl SolveSupervisor {
                         state.alpha =
                             (state.alpha / self.sup.alpha_backtrack).max(f64::MIN_POSITIVE);
                         state.carried_w = None;
+                        // Warm duals came from the diverging α; the
+                        // equilibration cache is a pure function of
+                        // the (unchanged) constraint matrix and stays.
+                        state.admm_reuse.clear_warm();
                         backtracks += 1;
                         causes.push(cause);
                         action = "backtrack";

@@ -218,6 +218,60 @@ fn injected_faults_bitwise_identical_across_thread_counts() {
     }
 }
 
+/// An injected Lanczos breakdown must be *invisible* to the
+/// supervisor: sub-problem 2's spectral fast path falls back to the
+/// dense `eigh` route internally, so the run needs no recovery and
+/// ends with the same quality verdict as a clean one. Uses n30 — the
+/// smallest suite instance whose lifted dimension (32) reaches the
+/// Lanczos path at all.
+#[test]
+fn lanczos_breakdown_falls_back_to_dense_eigh_without_recovery() {
+    let _g = lock();
+    let b = suite::gsrc_n30();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap();
+    let mut s = settings(Backend::Admm(AdmmSettings {
+        eps: 1e-4,
+        max_iter: 1500,
+        ..AdmmSettings::default()
+    }));
+    s.max_iter = 2;
+    s.max_alpha_rounds = 1;
+    let sup = SolveSupervisor::new(s);
+
+    gfp_fault::disarm();
+    let clean = sup.solve(&problem);
+
+    let hits_before = gfp_fault::site_hits(Site::Lanczos);
+    gfp_fault::arm(FaultPlan::single(Site::Lanczos, FaultKind::Stall, 1));
+    let faulted = sup.solve(&problem);
+    let fired = gfp_fault::injected_total();
+    gfp_fault::disarm();
+
+    assert!(fired > 0, "lanczos fault never fired");
+    assert!(
+        gfp_fault::site_hits(Site::Lanczos) > hits_before,
+        "lanczos site never polled — fast path not reached at n30"
+    );
+    assert_eq!(faulted.floorplan.positions.len(), 30);
+    assert!(
+        faulted
+            .floorplan
+            .positions
+            .iter()
+            .all(|p| p.0.is_finite() && p.1.is_finite()),
+        "lanczos fallback leaked a non-finite placement"
+    );
+    assert_eq!(
+        faulted.recoveries, 0,
+        "lanczos breakdown must be absorbed inside sub-problem 2, not recovered"
+    );
+    assert_eq!(
+        faulted.quality, clean.quality,
+        "quality verdict changed under an absorbed lanczos fault"
+    );
+}
+
 /// Seeded plans are reproducible: the same seed yields the same plan,
 /// and an armed seeded plan upholds the no-panic/always-place contract.
 #[test]

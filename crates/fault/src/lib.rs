@@ -57,11 +57,19 @@ pub enum Site {
     Eigh,
     /// CSR matrix-vector product (`gfp-linalg`, `sparse.rs`).
     CsrMatvec,
+    /// Lanczos partial eigensolver entry (`gfp-linalg`, `lanczos.rs`).
+    Lanczos,
 }
 
 impl Site {
     /// Every instrumented site, for matrix-style tests.
-    pub const ALL: [Site; 4] = [Site::AdmmIter, Site::IpmNewton, Site::Eigh, Site::CsrMatvec];
+    pub const ALL: [Site; 5] = [
+        Site::AdmmIter,
+        Site::IpmNewton,
+        Site::Eigh,
+        Site::CsrMatvec,
+        Site::Lanczos,
+    ];
 
     /// Stable name used in telemetry events.
     pub fn name(self) -> &'static str {
@@ -70,6 +78,7 @@ impl Site {
             Site::IpmNewton => "ipm.newton",
             Site::Eigh => "eigh",
             Site::CsrMatvec => "csr.matvec",
+            Site::Lanczos => "lanczos",
         }
     }
 
@@ -80,6 +89,7 @@ impl Site {
             Site::IpmNewton => 1,
             Site::Eigh => 2,
             Site::CsrMatvec => 3,
+            Site::Lanczos => 4,
         }
     }
 }
@@ -237,7 +247,8 @@ mod imp {
 
     static ARMED: AtomicBool = AtomicBool::new(false);
     static FIRED_TOTAL: AtomicU64 = AtomicU64::new(0);
-    static HITS: [AtomicU64; 4] = [
+    static HITS: [AtomicU64; 5] = [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),

@@ -116,9 +116,15 @@ const TRED2_PARALLEL_MIN: usize = 128;
 /// Rows/columns per parallel chunk inside `tred2`.
 const TRED2_GRAIN: usize = 16;
 
-/// Should a step over `m` rows run on the pool?
+/// Flop floor (`n²·p/2` weighted dot products) below which
+/// [`spectral_accumulate`] stays serial.
+const SPECTRAL_PARALLEL_WORK: usize = 64 * 64 * 16;
+
+/// Should a step over `m` rows run on the pool? Adaptive: requires
+/// both the kernel-size floor and a worthwhile per-worker share, and
+/// an effective (host-clamped) pool wider than one worker.
 fn par_ok(m: usize) -> bool {
-    m >= TRED2_PARALLEL_MIN && gfp_parallel::current_num_threads() > 1
+    gfp_parallel::should_parallelize(m, TRED2_PARALLEL_MIN, 2 * TRED2_GRAIN)
 }
 
 /// Shareable raw view of a matrix buffer for pool jobs that write
@@ -183,7 +189,26 @@ pub fn eigvalsh(a: &Mat) -> Result<Vec<f64>, LinalgError> {
 /// written by exactly one chunk and accumulated in the same order as
 /// the serial loop, so the factorization is bitwise independent of
 /// the worker count.
-fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+pub(crate) fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+    let n = a.nrows();
+    let mut hh = vec![0.0; n];
+    tred2_reduce(a, &mut hh, e);
+    for i in 0..n {
+        d[i] = a[(i, i)];
+    }
+    tred2_form_q(a, &hh);
+}
+
+/// Householder reduction only: on exit `a` holds the stored reflectors
+/// (row `i` below the diagonal is the scaled Householder vector of
+/// step `i`, column `i` its `u/h` companion) with the reduced
+/// tridiagonal matrix's diagonal on `a[(i,i)]`, `hh[i]` the step's `h`
+/// (0 when the step was skipped), and `e` the subdiagonal (`e[0]`
+/// unused). [`tred2_form_q`] turns the reflectors into an explicit
+/// `Q`; [`crate::tridiag::apply_reflectors`] applies them to a skinny
+/// matrix instead, skipping the O(n³) formation when only a few
+/// eigenvectors are needed.
+pub(crate) fn tred2_reduce(a: &mut Mat, hh: &mut [f64], e: &mut [f64]) {
     let n = a.nrows();
     let ncols = a.ncols();
     for i in (1..n).rev() {
@@ -272,16 +297,21 @@ fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
         } else {
             e[i] = a[(i, l)];
         }
-        d[i] = h;
+        hh[i] = h;
     }
-    d[0] = 0.0;
+    hh[0] = 0.0;
     e[0] = 0.0;
-    // Back-transformation: accumulate Q by applying each stored
-    // Householder reflector to the columns built so far. Column j is
-    // read and written only by its own chunk; row i and column i are
-    // untouched inputs.
+}
+
+/// Back-transformation: accumulate `Q` in place by applying each
+/// stored Householder reflector to the columns built so far. Column j
+/// is read and written only by its own chunk; row i and column i are
+/// untouched inputs.
+pub(crate) fn tred2_form_q(a: &mut Mat, hh: &[f64]) {
+    let n = a.nrows();
+    let ncols = a.ncols();
     for i in 0..n {
-        if d[i] != 0.0 {
+        if hh[i] != 0.0 {
             let am = RawMat(a.as_mut_slice().as_mut_ptr(), ncols);
             let body = |range: std::ops::Range<usize>| unsafe {
                 for j in range {
@@ -301,7 +331,6 @@ fn tred2(a: &mut Mat, d: &mut [f64], e: &mut [f64]) {
                 body(0..i);
             }
         }
-        d[i] = a[(i, i)];
         a[(i, i)] = 1.0;
         for j in 0..i {
             a[(j, i)] = 0.0;
@@ -442,7 +471,7 @@ pub fn spectral_accumulate(
     const BAND_ROWS: usize = 16;
     {
         let bands: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(BAND_ROWS * n).collect();
-        gfp_parallel::parallel_for_each_chunk(bands, |band_idx, band| {
+        let fill_band = |band_idx: usize, band: &mut [f64]| {
             let row0 = band_idx * BAND_ROWS;
             let band_rows = band.len() / n;
             for bi in 0..band_rows {
@@ -455,7 +484,22 @@ pub fn spectral_accumulate(
                     *oj += s;
                 }
             }
-        });
+        };
+        // Adaptive cutover on the triangular dot-product work n²p/2:
+        // few selected columns (the deflation fast path has p = 2)
+        // make per-band work too small to amortize pool dispatch.
+        let work = n * n / 2 * p;
+        if gfp_parallel::should_parallelize(
+            work,
+            SPECTRAL_PARALLEL_WORK,
+            SPECTRAL_PARALLEL_WORK / 4,
+        ) {
+            gfp_parallel::parallel_for_each_chunk(bands, fill_band);
+        } else {
+            for (band_idx, band) in bands.into_iter().enumerate() {
+                fill_band(band_idx, band);
+            }
+        }
     }
     for i in 0..n {
         for j in 0..i {
@@ -609,4 +653,5 @@ mod tests {
         assert!((e.values[n - 1] - (n as f64 + 1.0)).abs() < 1e-10);
         check_decomposition(&a, 1e-10);
     }
+
 }

@@ -1,0 +1,515 @@
+//! Deterministic Lanczos partial eigensolver.
+//!
+//! [`lanczos_extreme`] computes the `k` largest or smallest eigenpairs
+//! of a symmetric matrix without paying for a full dense
+//! decomposition. The convex-iteration pipeline only ever needs a few
+//! extreme eigenpairs of the lifted `Z` matrix (sub-problem 2 deflates
+//! the 2 largest; the PSD projection reconstructs the small positive
+//! side), so a short Krylov recurrence replaces the O(n³) `eigh` on
+//! the hot path. Full `eigh` remains the fallback whenever the
+//! returned residual bounds are too loose for the caller.
+//!
+//! Determinism: the start vector comes from a fixed-seed `gfp-rand`
+//! stream, every inner product runs serially in index order, and the
+//! small tridiagonal eigenproblem is solved by the deterministic dense
+//! [`eigh`]. No step depends on the worker count, so results are
+//! bitwise identical at every `GFP_THREADS`.
+//!
+//! Reorthogonalization is the "twice is enough" selective scheme:
+//! every new Krylov vector is orthogonalized against the whole stored
+//! basis once, and a second pass runs only when the first pass removed
+//! a large fraction of the vector's norm (the Kahan–Parlett
+//! criterion). That keeps the basis orthogonal to machine precision —
+//! which the residual bounds rely on — while the trigger itself is a
+//! pure function of the data, preserving determinism.
+
+use crate::eigen::eigh;
+use crate::error::LinalgError;
+use crate::mat::Mat;
+use crate::vec_ops::{dot, norm2};
+use gfp_rand::Rng;
+
+/// Which end of the spectrum [`lanczos_extreme`] resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extreme {
+    /// The `k` algebraically largest eigenvalues.
+    Largest,
+    /// The `k` algebraically smallest eigenvalues.
+    Smallest,
+}
+
+/// Tuning knobs for [`lanczos_extreme`]. `Default` works for the
+/// workspace's matrices; callers only override `tol` or the seed.
+#[derive(Debug, Clone)]
+pub struct LanczosOptions {
+    /// Hard cap on the Krylov subspace dimension; `0` picks
+    /// `min(n, max(8k + 24, 48))`.
+    pub max_subspace: usize,
+    /// Relative residual target: a pair counts as converged when its
+    /// residual bound is below `tol · scale`, where `scale` is the
+    /// largest Ritz magnitude seen.
+    pub tol: f64,
+    /// Seed for the start vector (fixed default: reproducibility is
+    /// part of the contract, not an option).
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_subspace: 0,
+            tol: 1e-10,
+            seed: 0x6c61_6e63, // "lanc"
+        }
+    }
+}
+
+/// A converged set of extreme eigenpairs with residual certificates.
+#[derive(Debug, Clone)]
+pub struct PartialEigh {
+    /// The `k` requested eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// `n × k` matrix whose columns are the matching Ritz vectors.
+    pub vectors: Mat,
+    /// Upper bound on `‖A v − λ v‖₂` per returned pair.
+    pub residuals: Vec<f64>,
+    /// Spectral scale the residuals are relative to (largest Ritz
+    /// magnitude encountered).
+    pub scale: f64,
+    /// Lanczos steps taken (0 when the dense fallback answered).
+    pub iterations: usize,
+}
+
+impl PartialEigh {
+    /// Whether every returned pair meets `tol` relative to the
+    /// spectral scale — the check callers gate their fast paths on.
+    pub fn converged(&self, tol: f64) -> bool {
+        let floor = self.scale.max(1e-300);
+        self.residuals.iter().all(|&r| r <= tol * floor)
+    }
+}
+
+/// Computes the `k` extreme eigenpairs of symmetric `a`.
+///
+/// Small problems (or `k` close to `n`) are answered exactly by the
+/// dense [`eigh`] with zero residuals; otherwise a Lanczos recurrence
+/// with selective reorthogonalization runs until the wanted pairs
+/// converge or the subspace cap is reached. The result always carries
+/// residual bounds — an unconverged run is *not* an error, so callers
+/// decide between accepting, retrying bigger, or falling back.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] for non-square input,
+/// [`LinalgError::NonFinite`] if the recurrence produces NaN/Inf
+/// (non-finite input), [`LinalgError::NoConvergence`] on injected
+/// breakdown (fault hook `Site::Lanczos`).
+pub fn lanczos_extreme(
+    a: &Mat,
+    k: usize,
+    which: Extreme,
+    opts: &LanczosOptions,
+) -> Result<PartialEigh, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    assert!(k >= 1, "lanczos_extreme: k must be at least 1");
+    assert!(k <= n, "lanczos_extreme: k={k} exceeds n={n}");
+
+    let mut residual_inflation = 1.0;
+    if let Some(fired) = gfp_fault::poll(gfp_fault::Site::Lanczos) {
+        match fired.kind {
+            gfp_fault::FaultKind::Stall | gfp_fault::FaultKind::BudgetExhaust => {
+                return Err(LinalgError::NoConvergence {
+                    method: "lanczos",
+                    iterations: 0,
+                });
+            }
+            gfp_fault::FaultKind::Nan | gfp_fault::FaultKind::Inf => {
+                return Err(LinalgError::NonFinite {
+                    what: "lanczos iterate",
+                });
+            }
+            gfp_fault::FaultKind::PerturbResidual => {
+                residual_inflation = 1.0 + fired.magnitude.abs();
+            }
+            _ => {}
+        }
+    }
+
+    let timer = crate::kernel_timer();
+
+    // Dense fallback: tiny matrices, or a subspace that would cover
+    // most of the spectrum anyway, are cheaper (and exact) via eigh.
+    if n < 16 || 4 * k + 8 >= n {
+        let e = eigh(a)?;
+        let sel = match which {
+            Extreme::Largest => (n - k)..n,
+            Extreme::Smallest => 0..k,
+        };
+        let mut vectors = Mat::zeros(n, k);
+        for (out_c, src_c) in sel.clone().enumerate() {
+            for r in 0..n {
+                vectors[(r, out_c)] = e.vectors[(r, src_c)];
+            }
+        }
+        let scale = e.values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        crate::kernel_record("lanczos", timer);
+        return Ok(PartialEigh {
+            values: e.values[sel].to_vec(),
+            vectors,
+            residuals: vec![0.0; k],
+            scale,
+            iterations: 0,
+        });
+    }
+
+    let m_cap = if opts.max_subspace == 0 {
+        (8 * k + 24).max(48).min(n)
+    } else {
+        opts.max_subspace.clamp(k + 2, n)
+    };
+
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m_cap);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m_cap);
+    let mut betas: Vec<f64> = Vec::with_capacity(m_cap); // beta[j] links q_j → q_{j+1}
+
+    let mut q = fresh_direction(n, &mut rng, &basis)?;
+    let mut w = vec![0.0; n];
+
+    // Breakdown threshold relative to the matrix magnitude.
+    let a_scale = a.norm_max().max(1e-300);
+    let breakdown = 1e-13 * a_scale;
+
+    let mut harvest: Option<(Vec<f64>, Mat, Vec<f64>, f64)> = None;
+    let mut steps = 0usize;
+
+    while basis.len() < m_cap {
+        basis.push(q.clone());
+        let j = basis.len() - 1;
+        a.matvec_into(&basis[j], &mut w);
+        let alpha = dot(&basis[j], &w);
+        if !alpha.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "lanczos iterate",
+            });
+        }
+        alphas.push(alpha);
+        // Three-term recurrence, then selective reorthogonalization
+        // against the full basis (deterministic index order).
+        for (wi, qi) in w.iter_mut().zip(basis[j].iter()) {
+            *wi -= alpha * qi;
+        }
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            for (wi, qi) in w.iter_mut().zip(basis[j - 1].iter()) {
+                *wi -= beta_prev * qi;
+            }
+        }
+        let norm_before = norm2(&w);
+        orthogonalize_against(&mut w, &basis);
+        let norm_after = norm2(&w);
+        if norm_after < 0.7 * norm_before {
+            // Kahan–Parlett: significant cancellation, run pass two.
+            orthogonalize_against(&mut w, &basis);
+        }
+        let beta = norm2(&w);
+        if !beta.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "lanczos iterate",
+            });
+        }
+        steps = basis.len();
+
+        let at_cap = basis.len() == m_cap;
+        let check_now = at_cap
+            || beta <= breakdown
+            || (basis.len() >= (2 * k + 2).max(8) && basis.len().is_multiple_of(8));
+        if check_now {
+            let got = ritz_pairs(a, &basis, &alphas, &betas, beta, k, which)?;
+            let tol_abs = opts.tol * got.3.max(1e-300);
+            // All k pairs must exist before residuals can settle it: a
+            // breakdown with a basis smaller than k (flat spectrum)
+            // yields fewer, perfectly-converged pairs and must keep
+            // restarting instead of returning short.
+            let done = got.0.len() == k && got.2.iter().all(|&r| r <= tol_abs);
+            harvest = Some(got);
+            if done || at_cap {
+                break;
+            }
+        }
+
+        if beta <= breakdown {
+            // Invariant subspace: restart with a fresh direction
+            // orthogonal to everything found so far (this is also how
+            // repeated eigenvalues are picked up).
+            match fresh_direction(n, &mut rng, &basis) {
+                Ok(v) => q = v,
+                Err(_) => break, // basis spans the whole space
+            }
+            betas.push(0.0);
+        } else {
+            let inv = 1.0 / beta;
+            q.clear();
+            q.extend(w.iter().map(|&wi| wi * inv));
+            betas.push(beta);
+        }
+    }
+
+    let (values, vectors, mut residuals, scale) = match harvest {
+        Some(h) => h,
+        // Loop ended before any checkpoint (can't happen with the cap
+        // ≥ 8, but keep it total): compute from what we have.
+        None => ritz_pairs(a, &basis, &alphas, &betas, 0.0, k, which)?,
+    };
+    if residual_inflation != 1.0 {
+        for r in residuals.iter_mut() {
+            *r *= residual_inflation;
+        }
+    }
+    crate::kernel_record("lanczos", timer);
+    Ok(PartialEigh {
+        values,
+        vectors,
+        residuals,
+        scale,
+        iterations: steps,
+    })
+}
+
+/// One classical Gram–Schmidt sweep of `w` against the stored basis,
+/// in fixed index order.
+fn orthogonalize_against(w: &mut [f64], basis: &[Vec<f64>]) {
+    for qv in basis {
+        let proj = dot(qv, w);
+        for (wi, qi) in w.iter_mut().zip(qv.iter()) {
+            *wi -= proj * qi;
+        }
+    }
+}
+
+/// Deterministic unit start/restart vector orthogonal to `basis`.
+fn fresh_direction(
+    n: usize,
+    rng: &mut Rng,
+    basis: &[Vec<f64>],
+) -> Result<Vec<f64>, LinalgError> {
+    for _attempt in 0..8 {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_f64() - 0.5).collect();
+        orthogonalize_against(&mut v, basis);
+        orthogonalize_against(&mut v, basis);
+        let nv = norm2(&v);
+        if nv > 1e-8 {
+            let inv = 1.0 / nv;
+            for vi in v.iter_mut() {
+                *vi *= inv;
+            }
+            return Ok(v);
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        method: "lanczos restart",
+        iterations: 8,
+    })
+}
+
+type RitzSet = (Vec<f64>, Mat, Vec<f64>, f64);
+
+/// Diagonalizes the current tridiagonal, selects the `k` wanted Ritz
+/// pairs and maps them back to full-space vectors with residual
+/// bounds `|β_m · s_{m,i}|` (refined against the true matrix).
+fn ritz_pairs(
+    a: &Mat,
+    basis: &[Vec<f64>],
+    alphas: &[f64],
+    betas: &[f64],
+    beta_last: f64,
+    k: usize,
+    which: Extreme,
+) -> Result<RitzSet, LinalgError> {
+    let m = basis.len();
+    let n = basis[0].len();
+    let mut t = Mat::zeros(m, m);
+    for (j, &aj) in alphas.iter().take(m).enumerate() {
+        t[(j, j)] = aj;
+        if j + 1 < m {
+            let b = betas[j];
+            t[(j, j + 1)] = b;
+            t[(j + 1, j)] = b;
+        }
+    }
+    let et = eigh(&t)?;
+    let scale = et.values.iter().fold(0.0f64, |mx, v| mx.max(v.abs()));
+    let kk = k.min(m);
+    let sel: Vec<usize> = match which {
+        Extreme::Largest => (m - kk..m).collect(),
+        Extreme::Smallest => (0..kk).collect(),
+    };
+
+    let mut values = Vec::with_capacity(kk);
+    let mut vectors = Mat::zeros(n, kk);
+    let mut residuals = Vec::with_capacity(kk);
+    let mut av = vec![0.0; n];
+    for (out_c, &c) in sel.iter().enumerate() {
+        values.push(et.values[c]);
+        // Full-space Ritz vector y = Σ_t s[t,c] · q_t, fixed order.
+        for (t_idx, qv) in basis.iter().enumerate() {
+            let s = et.vectors[(t_idx, c)];
+            if s == 0.0 {
+                continue;
+            }
+            for r in 0..n {
+                vectors[(r, out_c)] += s * qv[r];
+            }
+        }
+        // Cheap a-priori bound from the recurrence...
+        let bound = (beta_last * et.vectors[(m - 1, c)]).abs();
+        // ...confirmed against the matrix itself when it looks tight:
+        // restarts (beta_last ≈ 0 with a partial basis) make the
+        // recurrence bound unreliable, so the explicit residual is
+        // what we certify with.
+        let col: Vec<f64> = (0..n).map(|r| vectors[(r, out_c)]).collect();
+        a.matvec_into(&col, &mut av);
+        let theta = et.values[c];
+        let mut explicit = 0.0f64;
+        for r in 0..n {
+            let d = av[r] - theta * col[r];
+            explicit += d * d;
+        }
+        let explicit = explicit.sqrt();
+        if !explicit.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "lanczos residual",
+            });
+        }
+        residuals.push(explicit.max(bound.min(explicit * 4.0)));
+    }
+    Ok((values, vectors, residuals, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::spectral_accumulate;
+
+    fn random_sym(n: usize, seed: u64) -> Mat {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.gen_f64() * 2.0 - 1.0;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matches_dense_extremes_on_random_symmetric() {
+        let n = 60;
+        let a = random_sym(n, 7);
+        let full = eigh(&a).unwrap();
+        for which in [Extreme::Largest, Extreme::Smallest] {
+            let pe = lanczos_extreme(&a, 3, which, &LanczosOptions::default()).unwrap();
+            assert!(pe.converged(1e-8), "residuals: {:?}", pe.residuals);
+            let want: Vec<f64> = match which {
+                Extreme::Largest => full.values[n - 3..].to_vec(),
+                Extreme::Smallest => full.values[..3].to_vec(),
+            };
+            for (got, want) in pe.values.iter().zip(want.iter()) {
+                assert!(
+                    (got - want).abs() <= 1e-8 * pe.scale.max(1.0),
+                    "got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_matrices_use_exact_dense_path() {
+        let a = random_sym(10, 3);
+        let full = eigh(&a).unwrap();
+        let pe = lanczos_extreme(&a, 2, Extreme::Largest, &LanczosOptions::default()).unwrap();
+        assert_eq!(pe.iterations, 0);
+        assert_eq!(pe.residuals, vec![0.0, 0.0]);
+        assert_eq!(pe.values[0].to_bits(), full.values[8].to_bits());
+        assert_eq!(pe.values[1].to_bits(), full.values[9].to_bits());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = random_sym(80, 11);
+        let p1 = lanczos_extreme(&a, 2, Extreme::Largest, &LanczosOptions::default()).unwrap();
+        let p2 = lanczos_extreme(&a, 2, Extreme::Largest, &LanczosOptions::default()).unwrap();
+        assert_eq!(p1.values[0].to_bits(), p2.values[0].to_bits());
+        assert_eq!(p1.vectors.as_slice().len(), p2.vectors.as_slice().len());
+        for (x, y) in p1.vectors.as_slice().iter().zip(p2.vectors.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn ritz_vectors_satisfy_reported_residuals() {
+        let a = random_sym(72, 5);
+        let pe = lanczos_extreme(&a, 2, Extreme::Smallest, &LanczosOptions::default()).unwrap();
+        for (c, (&theta, &rbound)) in pe.values.iter().zip(pe.residuals.iter()).enumerate() {
+            let v: Vec<f64> = (0..72).map(|r| pe.vectors[(r, c)]).collect();
+            let av = a.matvec(&v);
+            let res: f64 = av
+                .iter()
+                .zip(v.iter())
+                .map(|(x, y)| (x - theta * y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res <= rbound * 1.01 + 1e-12, "res {res} > bound {rbound}");
+        }
+    }
+
+    #[test]
+    fn spectral_accumulate_accepts_partial_vectors() {
+        // The deflation consumers build W = I − VVᵀ straight from the
+        // partial vector block; make sure shapes line up.
+        let a = {
+            // Rank-2 Gram matrix plus small identity: spectrum is
+            // {big, big, eps...}.
+            let n = 40;
+            let mut rng = Rng::seed_from_u64(2);
+            let mut x = Mat::zeros(n, 2);
+            for v in x.as_mut_slice().iter_mut() {
+                *v = rng.gen_f64();
+            }
+            let mut g = Mat::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    g[(i, j)] = x[(i, 0)] * x[(j, 0)] + x[(i, 1)] * x[(j, 1)];
+                }
+            }
+            for i in 0..n {
+                g[(i, i)] += 1e-9;
+            }
+            g
+        };
+        let pe = lanczos_extreme(&a, 2, Extreme::Largest, &LanczosOptions::default()).unwrap();
+        assert!(pe.converged(1e-8));
+        let w = spectral_accumulate(
+            &pe.vectors,
+            &[-1.0, -1.0],
+            0..2,
+            Some(&Mat::identity(40)),
+        );
+        // W is the projector complement: trace = n − 2, idempotent.
+        assert!((w.trace() - 38.0).abs() < 1e-6);
+        let w2 = w.matmul(&w);
+        let mut max_diff = 0.0f64;
+        for (x, y) in w2.as_slice().iter().zip(w.as_slice()) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+        assert!(max_diff < 1e-6, "W not idempotent: {max_diff}");
+    }
+}

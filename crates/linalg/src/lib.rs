@@ -31,11 +31,14 @@
 mod chol;
 mod eigen;
 mod error;
+mod lanczos;
 mod lu;
 mod mat;
 mod qr;
+mod tridiag;
 
 pub mod cg;
+pub mod fastpath;
 pub mod sparse;
 pub mod svec;
 pub mod vec_ops;
@@ -43,9 +46,11 @@ pub mod vec_ops;
 pub use chol::{Cholesky, Ldlt};
 pub use eigen::{eigh, eigvalsh, spectral_accumulate, Eigh};
 pub use error::LinalgError;
+pub use lanczos::{lanczos_extreme, Extreme, LanczosOptions, PartialEigh};
 pub use lu::Lu;
 pub use mat::{Mat, MATMUL_PARALLEL_FLOPS};
 pub use qr::Qr;
+pub use tridiag::{spectral_side, SideKind, SpectralSide};
 
 /// Starts a wall-clock sample for a kernel-level telemetry counter,
 /// but only when telemetry is enabled (zero cost otherwise).
@@ -74,6 +79,14 @@ pub(crate) fn kernel_record(kind: &'static str, timer: Option<std::time::Instant
         "spectral_accumulate" => {
             gfp_telemetry::counter_add("kernel.spectral_accumulate.calls", 1);
             gfp_telemetry::counter_add("kernel.spectral_accumulate.micros", micros);
+        }
+        "lanczos" => {
+            gfp_telemetry::counter_add("kernel.lanczos.calls", 1);
+            gfp_telemetry::counter_add("kernel.lanczos.micros", micros);
+        }
+        "spectral_side" => {
+            gfp_telemetry::counter_add("kernel.spectral_side.calls", 1);
+            gfp_telemetry::counter_add("kernel.spectral_side.micros", micros);
         }
         _ => {}
     }

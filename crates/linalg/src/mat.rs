@@ -178,7 +178,8 @@ impl Mat {
         let timer = crate::kernel_timer();
         out.data.fill(0.0);
         let flops = self.rows * self.cols * rhs.cols;
-        if flops < MATMUL_PARALLEL_FLOPS || gfp_parallel::current_num_threads() == 1 {
+        if !gfp_parallel::should_parallelize(flops, MATMUL_PARALLEL_FLOPS, MATMUL_PARALLEL_FLOPS / 4)
+        {
             matmul_band(
                 self.cols,
                 rhs.cols,

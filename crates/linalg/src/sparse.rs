@@ -131,8 +131,10 @@ impl CsrMat {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
-        let nthreads = gfp_parallel::current_num_threads();
-        if self.nnz() < CSR_PARALLEL_NNZ || nthreads == 1 || self.rows < 2 {
+        let nthreads = gfp_parallel::effective_num_threads();
+        if !gfp_parallel::should_parallelize(self.nnz(), CSR_PARALLEL_NNZ, CSR_PARALLEL_NNZ / 4)
+            || self.rows < 2
+        {
             self.matvec_rows(x, y, 0);
         } else {
             let grain = self.rows.div_ceil(nthreads * 4).max(32);

@@ -44,13 +44,17 @@ fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
 }
 
 /// Runs `f` under 1-, 2- and 8-worker pools and asserts all three
-/// produce bitwise identical flattened output.
+/// produce bitwise identical flattened output. Disables the host-CPU
+/// clamp for the duration so the parallel code paths actually execute
+/// even on single-core CI hosts.
 fn check_across_pools(what: &str, f: impl Fn() -> Vec<f64>) {
+    let prev = gfp_parallel::set_host_clamp(false);
     let reference = with_pool(&ThreadPool::new(1), &f);
     for workers in [2, 8] {
         let got = with_pool(&ThreadPool::new(workers), &f);
         assert_bits_eq(&reference, &got, &format!("{what} @ {workers} workers"));
     }
+    gfp_parallel::set_host_clamp(prev);
 }
 
 #[test]
@@ -74,8 +78,10 @@ fn matmul_parallel_matches_serial_band_kernel() {
     let n = 100;
     let a = random_mat(&mut rng, n, n);
     let b = random_mat(&mut rng, n, n);
+    let prev = gfp_parallel::set_host_clamp(false);
     let serial = with_pool(&ThreadPool::new(1), || a.matmul(&b));
     let parallel = with_pool(&ThreadPool::new(8), || a.matmul(&b));
+    gfp_parallel::set_host_clamp(prev);
     assert_bits_eq(serial.as_slice(), parallel.as_slice(), "matmul serial vs parallel");
 }
 

@@ -50,11 +50,20 @@ mod pool;
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub use pool::{Scope, ThreadPool};
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+static HOST_CPUS: OnceLock<usize> = OnceLock::new();
+
+/// When set (the default), [`effective_num_threads`] clamps the active
+/// pool width to the host's CPU count so oversubscribed pools take the
+/// serial path. Benches and determinism tests flip it off to exercise
+/// parallel code paths on small hosts.
+static HOST_CLAMP: AtomicBool = AtomicBool::new(true);
 
 thread_local! {
     static OVERRIDE: Cell<Option<*const ThreadPool>> = const { Cell::new(None) };
@@ -113,6 +122,60 @@ fn active<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
 /// Worker count of the currently active pool.
 pub fn current_num_threads() -> usize {
     active(ThreadPool::num_threads)
+}
+
+/// Number of CPUs the host actually has (cached on first call).
+pub fn host_cpus() -> usize {
+    *HOST_CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Enables or disables the host-CPU clamp used by
+/// [`effective_num_threads`]; returns the previous setting.
+///
+/// The clamp is on by default: a 4-worker pool on a 1-CPU host cannot
+/// run jobs concurrently, so kernels should take their serial path.
+/// Tests that verify the bitwise-determinism contract across worker
+/// counts turn the clamp off so the parallel code paths still execute
+/// on small hosts. Cutover decisions only pick between bitwise-equal
+/// serial/parallel paths, so flipping this never changes results.
+pub fn set_host_clamp(on: bool) -> bool {
+    HOST_CLAMP.swap(on, Ordering::Relaxed)
+}
+
+/// Worker count kernels should plan for: the active pool width,
+/// clamped to [`host_cpus`] unless the clamp is disabled via
+/// [`set_host_clamp`]. Extra workers beyond the physical CPU count
+/// only add scheduling overhead, so cutover heuristics use this
+/// instead of [`current_num_threads`].
+pub fn effective_num_threads() -> usize {
+    let n = current_num_threads();
+    if HOST_CLAMP.load(Ordering::Relaxed) {
+        n.min(host_cpus())
+    } else {
+        n
+    }
+}
+
+/// Adaptive serial/parallel cutover decision shared by the numeric
+/// kernels.
+///
+/// Parallel dispatch pays off only when (a) more than one worker can
+/// actually run ([`effective_num_threads`] > 1), (b) the total amount
+/// of work clears a per-kernel floor (`min_total`, in kernel-specific
+/// units such as flops, nonzeros or rows), and (c) each worker's share
+/// clears `min_per_worker` so the per-job overhead amortizes.
+///
+/// The decision is a pure function of the work size and the
+/// environment — never of the data values — so it preserves the
+/// bitwise-determinism contract: whichever path is chosen produces
+/// identical bits.
+pub fn should_parallelize(work: usize, min_total: usize, min_per_worker: usize) -> bool {
+    let eff = effective_num_threads();
+    eff > 1 && work >= min_total && work / eff >= min_per_worker
 }
 
 /// Splits `0..len` into chunks of at most `grain` indices and runs
@@ -337,6 +400,44 @@ mod tests {
             parallel_reduce(0, 8, 7usize, |_| unreachable!(), |a, b: usize| a + b),
             7
         );
+    }
+
+    /// Serializes tests that flip the process-global host clamp.
+    static CLAMP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn cutover_is_size_and_worker_aware() {
+        let _guard = CLAMP_LOCK.lock().unwrap();
+        let prev = set_host_clamp(false);
+        let pool = ThreadPool::new(4);
+        with_pool(&pool, || {
+            assert_eq!(effective_num_threads(), 4);
+            // Big enough in total and per worker.
+            assert!(should_parallelize(4096, 1024, 256));
+            // Total below the kernel floor.
+            assert!(!should_parallelize(512, 1024, 64));
+            // Per-worker share too small to amortize dispatch.
+            assert!(!should_parallelize(1100, 1024, 512));
+        });
+        let one = ThreadPool::new(1);
+        with_pool(&one, || {
+            // One worker never parallelizes regardless of size.
+            assert!(!should_parallelize(usize::MAX / 2, 1, 1));
+        });
+        set_host_clamp(prev);
+    }
+
+    #[test]
+    fn host_clamp_limits_effective_threads() {
+        let _guard = CLAMP_LOCK.lock().unwrap();
+        let pool = ThreadPool::new(256);
+        with_pool(&pool, || {
+            let prev = set_host_clamp(true);
+            assert!(effective_num_threads() <= host_cpus());
+            set_host_clamp(false);
+            assert_eq!(effective_num_threads(), 256);
+            set_host_clamp(prev);
+        });
     }
 
     #[test]

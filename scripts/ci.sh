@@ -29,15 +29,28 @@ echo "== no-default-features build =="
 # sinks, fault hooks) disabled — guards against accidental hard deps.
 cargo build --workspace --no-default-features
 
-echo "== workspace tests (GFP_THREADS=2) =="
+echo "== workspace tests (GFP_THREADS=2, spectral fast path on) =="
 # Re-run the kernel-heavy crates with a 2-worker pool: exercises the
 # parallel dispatch paths and the bitwise determinism contract.
 GFP_THREADS=2 cargo test -q -p gfp-parallel -p gfp-linalg -p gfp-conic
 
+echo "== workspace tests (GFP_THREADS=2, spectral fast path off) =="
+# Same crates plus the core solver with the deflated eigensolver and
+# partial PSD projection disabled: everything must pass on the dense
+# routes too (the fast path is an optimization, never a dependency).
+GFP_NO_SPECTRAL_FASTPATH=1 GFP_THREADS=2 \
+    cargo test -q -p gfp-parallel -p gfp-linalg -p gfp-conic -p gfp-core
+
 echo "== kernel bench (smoke) =="
 # Quick serial-vs-parallel run of the hot kernels; asserts bitwise
-# identical outputs and writes target/BENCH_kernels.smoke.json.
+# identical outputs and writes target/BENCH_kernels.smoke.json. The
+# JSON is then checked explicitly: any row recording a serial/parallel
+# divergence fails the gate even if the binary's own assert changes.
 scripts/bench_kernels.sh --smoke
+if grep -q '"bitwise_match": false' target/BENCH_kernels.smoke.json; then
+    echo "FAIL: bitwise mismatch recorded in target/BENCH_kernels.smoke.json" >&2
+    exit 1
+fi
 
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then

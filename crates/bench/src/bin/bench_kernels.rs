@@ -29,7 +29,7 @@
 use std::path::PathBuf;
 
 use gfp_bench::microbench::{
-    write_kernel_report, E2eReport, FastpathReport, Group, KernelRecord,
+    write_kernel_report, CheckpointReport, E2eReport, FastpathReport, Group, KernelRecord,
 };
 use gfp_conic::{AdmmSettings, Cone};
 use gfp_core::iterate::{Backend, FloorplannerSettings};
@@ -223,6 +223,57 @@ fn e2e_section() -> E2eReport {
     }
 }
 
+/// Durable-checkpoint overhead: encode + atomic durable write of a
+/// real outer state (one supervised round on `instance`), against the
+/// wall time of that round itself. This is the per-round price of
+/// crash safety — the slow-tier test `checkpoint_overhead.rs` asserts
+/// it stays under 5% end to end.
+fn checkpoint_section(group: &Group, instance: &str, samples: usize) -> CheckpointReport {
+    use gfp_core::checkpoint::{encode_state, STATE_FORMAT_VERSION};
+    use gfp_store::SnapshotStore;
+
+    let bench = suite::by_name(instance);
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("suite problem");
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_iter = 2;
+    settings.max_alpha_rounds = 1;
+    settings.backend = Backend::Admm(AdmmSettings {
+        eps: 1e-4,
+        max_iter: 1200,
+        ..AdmmSettings::default()
+    });
+    let t0 = std::time::Instant::now();
+    let result = SolveSupervisor::new(settings).solve(&problem);
+    let round_secs = t0.elapsed().as_secs_f64();
+    let state = result.checkpoint;
+
+    let payload = encode_state(&state);
+    let state_bytes = payload.len();
+    let encode_secs = group.bench(&format!("checkpoint/{instance}/encode"), samples, || {
+        encode_state(&state).len()
+    });
+
+    let dir = std::env::temp_dir().join(format!("gfp-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = SnapshotStore::open(&dir, 2).expect("open bench checkpoint store");
+    let write_secs = group.bench(&format!("checkpoint/{instance}/write"), samples, || {
+        store
+            .write(STATE_FORMAT_VERSION, &encode_state(&state))
+            .expect("durable snapshot write")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CheckpointReport {
+        instance: instance.to_string(),
+        state_bytes,
+        encode_secs,
+        write_secs,
+        round_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -306,6 +357,9 @@ fn main() {
     }
 
     let mut fastpath_report = fastpath_section(&group, *sizes.last().unwrap(), samples);
+    // Checkpoint overhead on the paper-scale instance; the smoke tier
+    // uses n50 to stay fast while still exercising the fsync path.
+    let ckpt_report = checkpoint_section(&group, if smoke { "n50" } else { "n200" }, samples);
     let e2e = if smoke { None } else { Some(e2e_section()) };
 
     fastpath_report.lanczos_calls = counter("kernel.lanczos.calls") - lanczos0;
@@ -323,6 +377,7 @@ fn main() {
         effective,
         &records,
         Some(&fastpath_report),
+        Some(&ckpt_report),
         e2e.as_ref(),
     )
     .expect("write kernel report");
@@ -345,6 +400,15 @@ fn main() {
         fastpath_report.eigh_partial_fallbacks,
         100.0 * fastpath_report.hit_rate(),
         fastpath_report.speedup(),
+    );
+    println!(
+        "  checkpoint {}: {} KiB state, encode {:.2} ms, durable write {:.2} ms \
+         ({:.2}% of a round)",
+        ckpt_report.instance,
+        ckpt_report.state_bytes / 1024,
+        ckpt_report.encode_secs * 1e3,
+        ckpt_report.write_secs * 1e3,
+        100.0 * ckpt_report.overhead_frac(),
     );
     let mut ok = all_match;
     if let Some(e) = &e2e {

@@ -16,7 +16,11 @@ fn main() {
     let name = std::env::args()
         .find(|a| a.starts_with('n') && a[1..].chars().all(|c| c.is_ascii_digit()))
         .unwrap_or_else(|| "n10".to_string());
-    let bench = suite::by_name(&name);
+    let bench = suite::try_by_name(&name).unwrap_or_else(|| {
+        let known: Vec<&str> = suite::specs().iter().map(|s| s.name).collect();
+        eprintln!("unknown benchmark {name:?}; known: {}", known.join(", "));
+        std::process::exit(2);
+    });
     let pipeline = Pipeline::new(&bench, 1.0, budget);
     std::fs::create_dir_all("results").expect("results dir");
     let style = svg::SvgStyle::default();

@@ -155,6 +155,37 @@ impl E2eReport {
     }
 }
 
+/// Durable-checkpoint overhead measurements: what one per-round
+/// snapshot of a real solver state costs, split into pure encoding and
+/// the full atomic write (temp file + fsync + rename).
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Suite instance whose outer state was snapshotted.
+    pub instance: String,
+    /// Encoded snapshot payload size in bytes.
+    pub state_bytes: usize,
+    /// Seconds to encode the outer state (no I/O).
+    pub encode_secs: f64,
+    /// Seconds for the full durable write (encode + temp + fsync +
+    /// rename) — the per-round cost a checkpointing solve pays.
+    pub write_secs: f64,
+    /// Wall seconds of one solver round on the same instance, for
+    /// context: `write_secs / round_secs` is the relative overhead.
+    pub round_secs: f64,
+}
+
+impl CheckpointReport {
+    /// Per-round overhead of durable checkpointing, as a fraction of
+    /// the round's own wall time.
+    pub fn overhead_frac(&self) -> f64 {
+        if self.round_secs > 0.0 {
+            self.write_secs / self.round_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Writes the tracked kernel baseline as a JSON document
 /// (`gfp-kernel-bench-v2`).
 ///
@@ -173,6 +204,7 @@ pub fn write_kernel_report(
     effective_workers: usize,
     records: &[KernelRecord],
     fastpath: Option<&FastpathReport>,
+    checkpoint: Option<&CheckpointReport>,
     e2e: Option<&E2eReport>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
@@ -220,6 +252,20 @@ pub fn write_kernel_report(
             f.gap_rel_diff,
         )),
         None => out.push_str("  \"fastpath\": null,\n"),
+    }
+    match checkpoint {
+        Some(c) => out.push_str(&format!(
+            "  \"checkpoint\": {{\"instance\": \"{}\", \"state_bytes\": {}, \
+             \"encode_secs\": {:.9}, \"write_secs\": {:.9}, \"round_secs\": {:.9}, \
+             \"overhead_frac\": {:.6}}},\n",
+            c.instance,
+            c.state_bytes,
+            c.encode_secs,
+            c.write_secs,
+            c.round_secs,
+            c.overhead_frac(),
+        )),
+        None => out.push_str("  \"checkpoint\": null,\n"),
     }
     match e2e {
         Some(e) => out.push_str(&format!(
@@ -297,8 +343,16 @@ mod tests {
         };
         assert!((e2e.speedup() - 2.0).abs() < 1e-12);
         assert!(e2e.hpwl_rel_diff() < 1e-6);
+        let ckpt = CheckpointReport {
+            instance: "gsrc_n200".into(),
+            state_bytes: 1_500_000,
+            encode_secs: 2.0e-3,
+            write_secs: 8.0e-3,
+            round_secs: 4.0,
+        };
+        assert!((ckpt.overhead_frac() - 0.002).abs() < 1e-12);
         let dir = std::env::temp_dir().join("gfp_kernel_report_test.json");
-        write_kernel_report(&dir, 4, 1, &[rec], Some(&fast), Some(&e2e)).unwrap();
+        write_kernel_report(&dir, 4, 1, &[rec], Some(&fast), Some(&ckpt), Some(&e2e)).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"schema\": \"gfp-kernel-bench-v2\""));
         assert!(text.contains("\"requested_workers\": 4"));
@@ -306,15 +360,18 @@ mod tests {
         assert!(text.contains("\"speedup\": 2.0000"));
         assert!(text.contains("\"hit_rate\": 0.7500"));
         assert!(text.contains("\"instance\": \"gsrc_n200\""));
+        assert!(text.contains("\"state_bytes\": 1500000"));
+        assert!(text.contains("\"overhead_frac\": 0.002000"));
         let _ = std::fs::remove_file(&dir);
     }
 
     #[test]
     fn report_without_optional_sections_emits_nulls() {
         let dir = std::env::temp_dir().join("gfp_kernel_report_null_test.json");
-        write_kernel_report(&dir, 2, 2, &[], None, None).unwrap();
+        write_kernel_report(&dir, 2, 2, &[], None, None, None).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"fastpath\": null"));
+        assert!(text.contains("\"checkpoint\": null"));
         assert!(text.contains("\"e2e\": null"));
         let _ = std::fs::remove_file(&dir);
     }

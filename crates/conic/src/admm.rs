@@ -115,6 +115,90 @@ impl AdmmReuse {
     pub fn clear_warm(&mut self) {
         self.warm = None;
     }
+
+    /// Extracts a plain-data image of the reuse state for the
+    /// checkpoint codec. The CG workspace is excluded: it is fully
+    /// overwritten on every call, so omitting it is bitwise-neutral —
+    /// while the constraint cache must be captured (a resumed solve
+    /// that rebuilt the cache would also drop the warm iterate and
+    /// diverge from the uninterrupted trajectory).
+    pub fn snapshot(&self) -> AdmmReuseSnapshot {
+        AdmmReuseSnapshot {
+            cache: self.cache.as_ref().map(|c| AdmmCacheSnapshot {
+                a_orig: c.a_orig.clone(),
+                a_scaled: c.a_scaled.clone(),
+                row_scale: c.eq.d.clone(),
+                col_scale: c.eq.e.clone(),
+                diag: c.diag.clone(),
+                scaling_iters: c.scaling_iters,
+                prox_eps: c.prox_eps,
+            }),
+            warm: self.warm.as_ref().map(|w| AdmmWarmSnapshot {
+                y: w.y.clone(),
+                s: w.s.clone(),
+                rho: w.rho,
+            }),
+        }
+    }
+
+    /// Rebuilds reuse state from a snapshot (inverse of
+    /// [`snapshot`](Self::snapshot)). The CG workspace starts empty
+    /// and is re-allocated on first use.
+    pub fn from_snapshot(snap: AdmmReuseSnapshot) -> Self {
+        AdmmReuse {
+            cache: snap.cache.map(|c| AdmmCache {
+                a_orig: c.a_orig,
+                a_scaled: c.a_scaled,
+                eq: Equilibration { d: c.row_scale, e: c.col_scale },
+                diag: c.diag,
+                scaling_iters: c.scaling_iters,
+                prox_eps: c.prox_eps,
+            }),
+            warm: snap.warm.map(|w| AdmmWarmState { y: w.y, s: w.s, rho: w.rho }),
+            cg_ws: None,
+        }
+    }
+}
+
+/// Plain-data image of [`AdmmReuse`], the serialization surface for
+/// durable checkpoints. Field-for-field public so an external codec
+/// can encode it without this crate knowing about byte formats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmReuseSnapshot {
+    /// The constraint cache, when one was built.
+    pub cache: Option<AdmmCacheSnapshot>,
+    /// The carried final iterate, when the previous solve converged.
+    pub warm: Option<AdmmWarmSnapshot>,
+}
+
+/// Plain-data image of the constraint cache (see `AdmmCache`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmCacheSnapshot {
+    /// The caller's `A` exactly as given (cache validity key).
+    pub a_orig: CsrMat,
+    /// Equilibrated `D·A·E`.
+    pub a_scaled: CsrMat,
+    /// Ruiz row scaling `D` (diagonal).
+    pub row_scale: Vec<f64>,
+    /// Ruiz column scaling `E` (diagonal).
+    pub col_scale: Vec<f64>,
+    /// Jacobi preconditioner `diag(εI + AᵀA)` of the scaled matrix.
+    pub diag: Vec<f64>,
+    /// Ruiz rounds the cache was built with.
+    pub scaling_iters: usize,
+    /// Proximal ε baked into `diag`.
+    pub prox_eps: f64,
+}
+
+/// Plain-data image of the carried warm-start iterate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmWarmSnapshot {
+    /// Final unscaled dual iterate.
+    pub y: Vec<f64>,
+    /// Final unscaled slack iterate.
+    pub s: Vec<f64>,
+    /// Final penalty parameter.
+    pub rho: f64,
 }
 
 /// Cached scaling work keyed (by exact comparison) on the original

@@ -56,7 +56,10 @@ mod scaling;
 
 pub mod ipm;
 
-pub use admm::{AdmmReuse, AdmmSettings, AdmmSolver, IterationStats};
+pub use admm::{
+    AdmmCacheSnapshot, AdmmReuse, AdmmReuseSnapshot, AdmmSettings, AdmmSolver, AdmmWarmSnapshot,
+    IterationStats,
+};
 pub use cone::Cone;
 pub use error::ConicError;
 pub use program::{ConeProgram, ConeProgramBuilder};

@@ -32,6 +32,13 @@ pub enum FloorplanError {
         /// Human-readable detail.
         reason: String,
     },
+    /// A durable checkpoint could not be opened, loaded or decoded
+    /// (missing directory, every generation corrupt, or a payload from
+    /// an unknown format version).
+    Checkpoint {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The conic solver failed.
     Conic(ConicError),
     /// A linear-algebra routine failed.
@@ -51,6 +58,9 @@ impl fmt::Display for FloorplanError {
             }
             FloorplanError::NumericalBreakdown { stage, reason } => {
                 write!(f, "numerical breakdown in {stage}: {reason}")
+            }
+            FloorplanError::Checkpoint { reason } => {
+                write!(f, "checkpoint failure: {reason}")
             }
             FloorplanError::Conic(e) => write!(f, "conic solver failure: {e}"),
             FloorplanError::Linalg(e) => write!(f, "linear algebra failure: {e}"),

@@ -41,6 +41,7 @@
 
 mod error;
 
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod enhance;
 pub mod hierarchical;

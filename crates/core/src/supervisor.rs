@@ -27,17 +27,29 @@
 //!   with a machine-readable quality taxonomy ([`SolveQuality`],
 //!   [`DegradeCause`]); if literally nothing solved, the deterministic
 //!   spread embedding is returned as a [`SolveQuality::Placeholder`].
+//! * **Durable checkpoints** — with
+//!   [`SupervisorSettings::checkpoint_dir`] set, every completed α
+//!   round is also snapshotted to disk (atomic, CRC-protected,
+//!   generation ring; see `gfp-store`), and
+//!   [`SolveSupervisor::resume_from_dir`] restarts a killed process
+//!   from the newest good snapshot with a bitwise-identical
+//!   trajectory (see `crate::checkpoint` for the determinism
+//!   contract).
 //!
 //! All supervision decisions depend only on deterministic solver
 //! outcomes (when wall limits are `None`), so a supervised solve is as
 //! reproducible as a bare one — including under injected faults from
 //! `gfp-fault`, whose hooks fire on deterministic call counts.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use gfp_conic::ipm::BarrierSettings;
 use gfp_conic::AdmmSettings;
+use gfp_store::SnapshotStore;
 use gfp_telemetry as telemetry;
+
+use crate::checkpoint::{decode_state, encode_state, STATE_FORMAT_VERSION};
 
 use crate::iterate::{
     run_alpha_round, Backend, FloorplannerSettings, GlobalFloorplan, OuterState, RoundOutcome,
@@ -66,6 +78,18 @@ pub struct SupervisorSettings {
     /// Total wall-clock limit, checked before each round. `None` (the
     /// default) keeps the control flow deterministic.
     pub total_wall_limit: Option<Duration>,
+    /// Directory for durable per-round checkpoints. When set, the
+    /// outer-loop state is snapshotted (atomically, CRC-protected; see
+    /// `gfp-store`) after every completed α round and once more when
+    /// the run ends, and [`SolveSupervisor::resume_from_dir`] can
+    /// restart a killed process from the newest good snapshot with a
+    /// bitwise-identical trajectory. `None` (the default) keeps solves
+    /// purely in-memory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Generations retained in the snapshot ring (clamped to ≥ 1).
+    /// Older snapshots are pruned after each write; loads fall back
+    /// through the ring when newer generations are torn or corrupt.
+    pub checkpoint_keep: usize,
 }
 
 impl Default for SupervisorSettings {
@@ -77,6 +101,8 @@ impl Default for SupervisorSettings {
             max_backtracks: 2,
             round_wall_limit: None,
             total_wall_limit: None,
+            checkpoint_dir: None,
+            checkpoint_keep: 3,
         }
     }
 }
@@ -90,11 +116,15 @@ pub enum SolveQuality {
     /// Rank certificate met, but only after at least one fallback or
     /// backtrack.
     Recovered,
-    /// No certificate: the iteration budgets ran out on a healthy run
-    /// (same meaning as `converged: false` from the bare solver).
+    /// No certificate: an iteration or wall-clock budget ran out on a
+    /// healthy run — no failures, no recoveries, a usable best iterate
+    /// (iteration budgets: same meaning as `converged: false` from the
+    /// bare solver). The returned checkpoint is valid and
+    /// [`SolveSupervisor::resume`] continues the run.
     BudgetExhausted,
-    /// Failures consumed the recovery budget (or a wall limit fired);
-    /// the placement is the best iterate seen before degradation.
+    /// Failures consumed the recovery budget, or a wall limit fired on
+    /// a run that had already needed recovery; the placement is the
+    /// best iterate seen before degradation.
     Degraded,
     /// Nothing solved at all: the placement is the deterministic
     /// spread embedding, usable only as a seed.
@@ -261,6 +291,71 @@ impl SolveSupervisor {
         self.run(problem, checkpoint)
     }
 
+    /// Resumes a killed solve from the newest good on-disk snapshot in
+    /// `dir` (written by a previous run configured with
+    /// [`SupervisorSettings::checkpoint_dir`]). Torn or corrupted
+    /// generations are skipped by CRC; the run continues from the last
+    /// completed α round and, because round replay is deterministic,
+    /// produces the bitwise-identical trajectory of an uninterrupted
+    /// run. `problem` must be the same instance the snapshots came
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// [`FloorplanError::Checkpoint`] when the directory cannot be
+    /// opened, holds no snapshot at all, every generation is corrupt,
+    /// or the newest good payload has an unknown format version.
+    pub fn resume_from_dir(
+        &self,
+        problem: &GlobalFloorplanProblem,
+        dir: impl AsRef<Path>,
+    ) -> Result<DegradedResult, FloorplanError> {
+        let dir = dir.as_ref();
+        let store = SnapshotStore::open(dir, self.sup.checkpoint_keep)
+            .map_err(|e| FloorplanError::Checkpoint { reason: e.to_string() })?;
+        let snap = store
+            .load_latest()
+            .map_err(|e| FloorplanError::Checkpoint { reason: e.to_string() })?
+            .ok_or_else(|| FloorplanError::Checkpoint {
+                reason: format!("no snapshot found in {}", dir.display()),
+            })?;
+        let state = decode_state(snap.version, &snap.payload).map_err(|e| {
+            FloorplanError::Checkpoint {
+                reason: format!("generation {}: {e}", snap.generation),
+            }
+        })?;
+        telemetry::counter_add("store.resume", 1);
+        if telemetry::enabled() {
+            telemetry::event(
+                "store.resume",
+                &[
+                    ("generation", snap.generation.into()),
+                    ("round", state.round.into()),
+                    ("global_iter", state.global_iter.into()),
+                    ("converged", state.converged.into()),
+                ],
+            );
+        }
+        Ok(self.run(problem, state))
+    }
+
+    /// Best-effort durable checkpoint: a solve must never fail because
+    /// the disk did (the full state is still returned in-memory), so
+    /// write errors are counted (`store.write_error` inside the store)
+    /// and reported as an event, not propagated.
+    fn persist(&self, store: &mut Option<SnapshotStore>, state: &OuterState) {
+        let Some(store) = store.as_mut() else { return };
+        let payload = encode_state(state);
+        if let Err(e) = store.write(STATE_FORMAT_VERSION, &payload) {
+            if telemetry::enabled() {
+                telemetry::event(
+                    "supervisor.checkpoint_write_failed",
+                    &[("error", e.to_string().into()), ("round", state.round.into())],
+                );
+            }
+        }
+    }
+
     fn run(&self, problem: &GlobalFloorplanProblem, mut state: OuterState) -> DegradedResult {
         let _span = telemetry::span("supervisor.solve");
         let t0 = Instant::now();
@@ -287,6 +382,23 @@ impl SolveSupervisor {
         let mut exhausted = false;
         let mut wall_tripped = false;
 
+        // Durable checkpointing is optional and best-effort: an
+        // unopenable directory degrades to an in-memory-only run.
+        let mut store: Option<SnapshotStore> = self.sup.checkpoint_dir.as_ref().and_then(|dir| {
+            match SnapshotStore::open(dir, self.sup.checkpoint_keep) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "supervisor.checkpoint_open_failed",
+                            &[("error", e.to_string().into())],
+                        );
+                    }
+                    None
+                }
+            }
+        });
+
         while state.round < st.max_alpha_rounds && !state.converged {
             if let Some(limit) = self.sup.total_wall_limit {
                 if t0.elapsed() >= limit {
@@ -306,6 +418,11 @@ impl SolveSupervisor {
                     state.alpha *= st.alpha_growth;
                     state.round += 1;
                     telemetry::counter_add("supervisor.rounds", 1);
+                    // Persist at the round boundary, after escalation:
+                    // a resume replays from here and the next round
+                    // sees exactly the state an uninterrupted run
+                    // would.
+                    self.persist(&mut store, &state);
                     if let Some(limit) = self.sup.round_wall_limit {
                         if round_t0.elapsed() >= limit {
                             causes.push(DegradeCause::WallBudget { scope: "round" });
@@ -377,12 +494,23 @@ impl SolveSupervisor {
             }
         }
 
+        // Final snapshot: captures convergence (so a resume of a
+        // finished run returns immediately) and the state of wall- or
+        // recovery-terminated runs.
+        self.persist(&mut store, &state);
+
         let converged = state.converged;
         let checkpoint = state.clone();
         let floorplan = state.into_floorplan(scale);
         let quality = match &floorplan {
             Some(_) if converged && recoveries == 0 && !wall_tripped => SolveQuality::Certified,
             Some(_) if converged => SolveQuality::Recovered,
+            // A wall trip on an otherwise clean run is a budget, not a
+            // failure: the best iterate is healthy and the checkpoint
+            // resumes it.
+            Some(_) if wall_tripped && recoveries == 0 && !exhausted => {
+                SolveQuality::BudgetExhausted
+            }
             Some(_) if exhausted || wall_tripped => SolveQuality::Degraded,
             Some(_) if causes.is_empty() => SolveQuality::BudgetExhausted,
             Some(_) => SolveQuality::Degraded,
@@ -522,14 +650,100 @@ mod tests {
         assert_eq!(r.causes, vec![DegradeCause::WallBudget { scope: "total" }]);
     }
 
+    /// Downstream log consumers key on these identifiers; the match is
+    /// exhaustive (no wildcard arm) so adding a variant without
+    /// extending the pinned table is a compile error, and renaming a
+    /// code is a test failure.
     #[test]
-    fn quality_and_cause_codes_are_stable() {
-        assert_eq!(SolveQuality::Certified.as_str(), "certified");
-        assert_eq!(SolveQuality::Placeholder.as_str(), "placeholder");
-        assert_eq!(
-            DegradeCause::NumericalBreakdown { stage: "x" }.code(),
-            "numerical_breakdown"
+    fn quality_codes_are_stable_and_exhaustive() {
+        const QUALITIES: [(SolveQuality, &str); 5] = [
+            (SolveQuality::Certified, "certified"),
+            (SolveQuality::Recovered, "recovered"),
+            (SolveQuality::BudgetExhausted, "budget_exhausted"),
+            (SolveQuality::Degraded, "degraded"),
+            (SolveQuality::Placeholder, "placeholder"),
+        ];
+        for (q, code) in QUALITIES {
+            assert_eq!(q.as_str(), code);
+            // Exhaustiveness: every variant must appear in the table.
+            match q {
+                SolveQuality::Certified
+                | SolveQuality::Recovered
+                | SolveQuality::BudgetExhausted
+                | SolveQuality::Degraded
+                | SolveQuality::Placeholder => {}
+            }
+        }
+        // All codes distinct.
+        for (i, (_, a)) in QUALITIES.iter().enumerate() {
+            for (_, b) in &QUALITIES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cause_codes_are_stable_and_exhaustive() {
+        let causes: [(DegradeCause, &str); 4] = [
+            (
+                DegradeCause::NumericalBreakdown { stage: "x" },
+                "numerical_breakdown",
+            ),
+            (
+                DegradeCause::BackendFailure { backend: "admm", detail: String::new() },
+                "backend_failure",
+            ),
+            (DegradeCause::WallBudget { scope: "round" }, "wall_budget"),
+            (DegradeCause::RecoveryExhausted, "recovery_exhausted"),
+        ];
+        for (c, code) in &causes {
+            assert_eq!(c.code(), *code);
+            // Exhaustive within the defining crate: a new variant
+            // breaks this match until the table above is extended.
+            match c {
+                DegradeCause::NumericalBreakdown { .. }
+                | DegradeCause::BackendFailure { .. }
+                | DegradeCause::WallBudget { .. }
+                | DegradeCause::RecoveryExhausted => {}
+            }
+        }
+        for (i, (_, a)) in causes.iter().enumerate() {
+            for (_, b) in &causes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// A wall limit tripping mid-run on an otherwise healthy solve is
+    /// a budget, not a degradation: the result must say
+    /// `budget_exhausted` and carry a checkpoint that [`resume`]
+    /// accepts and continues.
+    #[test]
+    fn round_wall_trip_is_budget_exhausted_and_resumable() {
+        let p = n10_problem();
+        let mut s = tiny_settings();
+        s.eps_rank = 1e-12; // unreachable: the run can only stop on budgets
+        let sup = SolveSupervisor::with_supervision(
+            s.clone(),
+            SupervisorSettings {
+                // Checked after the round completes, so exactly one
+                // round runs and the trip is deterministic.
+                round_wall_limit: Some(Duration::ZERO),
+                ..SupervisorSettings::default()
+            },
         );
-        assert_eq!(DegradeCause::RecoveryExhausted.code(), "recovery_exhausted");
+        let first = sup.solve(&p);
+        assert_eq!(first.quality, SolveQuality::BudgetExhausted);
+        assert_eq!(first.quality.as_str(), "budget_exhausted");
+        assert_eq!(first.causes, vec![DegradeCause::WallBudget { scope: "round" }]);
+        assert_eq!(first.recoveries, 0);
+        assert_eq!(first.checkpoint.round, 1);
+        assert!(!first.floorplan.converged);
+
+        // The checkpoint is valid: a resume without the wall limit
+        // picks up at round 1 and makes further progress.
+        let resumed = SolveSupervisor::new(s).resume(&p, first.checkpoint);
+        assert!(resumed.checkpoint.round > 1);
+        assert!(resumed.floorplan.iterations > first.floorplan.iterations);
     }
 }

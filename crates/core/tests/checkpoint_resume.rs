@@ -1,0 +1,163 @@
+//! Durable checkpoint + resume: on-disk behaviour of the supervisor.
+//!
+//! The bitwise-trajectory proof lives in `golden_trace.rs` (it needs
+//! the telemetry stream); this file covers the storage-facing
+//! contract: snapshots actually land per round, corrupt generations
+//! fall back without losing determinism, and the error paths are
+//! structured.
+
+use std::path::PathBuf;
+
+use gfp_core::supervisor::{SolveSupervisor, SupervisorSettings};
+use gfp_core::{
+    FloorplanError, FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions,
+};
+use gfp_netlist::suite;
+use gfp_store::{SnapshotStore, HEADER_LEN};
+
+fn n10_problem() -> GlobalFloorplanProblem {
+    let b = suite::gsrc_n10();
+    GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default()).unwrap()
+}
+
+/// Small but multi-round: the certificate is unreachable, so the round
+/// count is fixed and deterministic.
+fn settings(rounds: usize) -> FloorplannerSettings {
+    let mut s = FloorplannerSettings::fast();
+    s.max_iter = 2;
+    s.max_alpha_rounds = rounds;
+    s.eps_rank = 1e-12;
+    s
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfp-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn supervisor(rounds: usize, dir: Option<PathBuf>) -> SolveSupervisor {
+    SolveSupervisor::with_supervision(
+        settings(rounds),
+        SupervisorSettings {
+            checkpoint_dir: dir,
+            ..SupervisorSettings::default()
+        },
+    )
+}
+
+fn position_bits(r: &gfp_core::DegradedResult) -> Vec<(u64, u64)> {
+    r.floorplan
+        .positions
+        .iter()
+        .map(|&(x, y)| (x.to_bits(), y.to_bits()))
+        .collect()
+}
+
+#[test]
+fn per_round_snapshots_land_on_disk() {
+    let p = n10_problem();
+    let dir = temp_dir("land");
+    let r = supervisor(3, Some(dir.clone())).solve(&p);
+    assert_eq!(r.checkpoint.round, 3);
+
+    // Three round-boundary snapshots plus the final one, ring-pruned
+    // to the default keep (3).
+    let store = SnapshotStore::open(&dir, 3).unwrap();
+    let gens = store.generations().unwrap();
+    assert_eq!(gens, vec![1, 2, 3], "expected a pruned ring, got {gens:?}");
+    let snap = store.load_latest().unwrap().expect("final snapshot present");
+    let state =
+        gfp_core::checkpoint::decode_state(snap.version, &snap.payload).expect("decodable");
+    assert_eq!(state.round, 3);
+    assert_eq!(state.global_iter, r.checkpoint.global_iter);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting the newest generations forces resume to fall back to an
+/// older round boundary — and because round replay is deterministic,
+/// the final placement is still bit-for-bit the uninterrupted one.
+#[test]
+fn corrupt_generations_fall_back_and_stay_bitwise_identical() {
+    let p = n10_problem();
+
+    // Reference: uninterrupted 3-round run, no persistence.
+    let reference = supervisor(3, None).solve(&p);
+
+    // Killed-at-round-2 run with checkpoints.
+    let dir = temp_dir("fallback");
+    let _ = supervisor(2, Some(dir.clone())).solve(&p);
+
+    // Corrupt the two newest snapshots: flip a payload byte in one,
+    // tear the other mid-record.
+    let store = SnapshotStore::open(&dir, 3).unwrap();
+    let gens = store.generations().unwrap();
+    assert!(gens.len() >= 3, "need a full ring, got {gens:?}");
+    let newest = store.path_for(*gens.last().unwrap());
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+    let second = store.path_for(gens[gens.len() - 2]);
+    let mut bytes = std::fs::read(&second).unwrap();
+    bytes[HEADER_LEN + 7] ^= 0x40;
+    std::fs::write(&second, &bytes).unwrap();
+
+    // Resume must skip both bad generations, restart from the round-1
+    // boundary, replay rounds 1–2 and land exactly where the
+    // uninterrupted run did.
+    let resumed = supervisor(3, None)
+        .resume_from_dir(&p, &dir)
+        .expect("fallback to the oldest good generation");
+    assert_eq!(resumed.checkpoint.round, 3);
+    assert_eq!(position_bits(&reference), position_bits(&resumed));
+    assert_eq!(reference.floorplan.iterations, resumed.floorplan.iterations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_empty_or_missing_dir_is_a_structured_error() {
+    let p = n10_problem();
+    let dir = temp_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = supervisor(3, None).resume_from_dir(&p, &dir).unwrap_err();
+    assert!(matches!(err, FloorplanError::Checkpoint { .. }), "got {err:?}");
+    assert!(err.to_string().contains("no snapshot found"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_every_generation_corrupt_is_a_structured_error() {
+    let p = n10_problem();
+    let dir = temp_dir("allbad");
+    let _ = supervisor(2, Some(dir.clone())).solve(&p);
+    let store = SnapshotStore::open(&dir, 3).unwrap();
+    for gen in store.generations().unwrap() {
+        std::fs::write(store.path_for(gen), b"GFPSgarbage").unwrap();
+    }
+    let err = supervisor(3, None).resume_from_dir(&p, &dir).unwrap_err();
+    assert!(matches!(err, FloorplanError::Checkpoint { .. }), "got {err:?}");
+    assert!(err.to_string().contains("torn or corrupt"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A resumed run configured with the same checkpoint directory keeps
+/// appending generations (no renumbering), so repeated crashes always
+/// move forward.
+#[test]
+fn resumed_run_continues_the_generation_sequence() {
+    let p = n10_problem();
+    let dir = temp_dir("contgen");
+    let _ = supervisor(2, Some(dir.clone())).solve(&p);
+    let before = SnapshotStore::open(&dir, 3).unwrap().generations().unwrap();
+    let max_before = *before.last().unwrap();
+
+    let resumed = supervisor(3, Some(dir.clone()))
+        .resume_from_dir(&p, &dir)
+        .expect("resume");
+    assert_eq!(resumed.checkpoint.round, 3);
+    let after = SnapshotStore::open(&dir, 3).unwrap().generations().unwrap();
+    assert!(
+        *after.last().unwrap() > max_before,
+        "generations did not advance: {before:?} -> {after:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -272,6 +272,102 @@ fn lanczos_breakdown_falls_back_to_dense_eigh_without_recovery() {
     );
 }
 
+/// Builds a supervisor that checkpoints into `dir` and cannot converge
+/// early (`eps_rank` unreachable), so the snapshot-write schedule is
+/// deterministic: one write per completed round plus the final one.
+fn checkpointing_supervisor(rounds: usize, dir: Option<std::path::PathBuf>) -> SolveSupervisor {
+    let mut s = settings(admm_backend());
+    s.max_alpha_rounds = rounds;
+    s.eps_rank = 1e-12;
+    SolveSupervisor::with_supervision(
+        s,
+        SupervisorSettings {
+            checkpoint_dir: dir,
+            ..SupervisorSettings::default()
+        },
+    )
+}
+
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfp-fault-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn position_bits(r: &gfp_core::DegradedResult) -> Vec<(u64, u64)> {
+    r.floorplan
+        .positions
+        .iter()
+        .map(|&(x, y)| (x.to_bits(), y.to_bits()))
+        .collect()
+}
+
+/// Checkpoint-write failures of every kind are *invisible* to the
+/// numeric trajectory: persistence is best-effort, so a failing (or
+/// corrupting) snapshot write must cost no recoveries and leave the
+/// placement bit-identical to a run without checkpoints at all.
+#[test]
+fn checkpoint_write_faults_never_perturb_the_solve() {
+    let _g = lock();
+    let problem = n10_problem();
+    gfp_fault::disarm();
+    let reference = checkpointing_supervisor(2, None).solve(&problem);
+    for kind in FaultKind::ALL {
+        let label = format!("checkpoint.write+{}", kind.name());
+        let dir = ckpt_dir(kind.name());
+        gfp_fault::arm(FaultPlan::single(Site::CheckpointWrite, kind, 0));
+        let result = checkpointing_supervisor(2, Some(dir.clone())).solve(&problem);
+        let fired = gfp_fault::injected_total();
+        gfp_fault::disarm();
+        assert!(fired > 0, "{label}: fault never fired");
+        assert_placed(&result, &label);
+        assert_eq!(result.recoveries, 0, "{label}: storage fault triggered a numeric recovery");
+        assert_eq!(
+            position_bits(&reference),
+            position_bits(&result),
+            "{label}: checkpoint fault perturbed the placement"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Torn writes and silent payload corruption injected at the *newest*
+/// snapshot must be caught on resume (length/CRC checks) with fallback
+/// to the previous good generation — and deterministic round replay
+/// still lands the resumed solve bit-for-bit on the uninterrupted one.
+#[test]
+fn torn_and_silently_corrupt_snapshots_are_caught_on_resume() {
+    let _g = lock();
+    let problem = n10_problem();
+    gfp_fault::disarm();
+    let reference = checkpointing_supervisor(3, None).solve(&problem);
+    for (kind, label) in [
+        (FaultKind::BudgetExhaust, "torn-write"),
+        (FaultKind::PerturbResidual, "silent-corruption"),
+    ] {
+        let dir = ckpt_dir(label);
+        // A 2-round run writes three snapshots (round 1, round 2,
+        // final); corrupt the last so resume must fall back.
+        gfp_fault::arm(FaultPlan::single(Site::CheckpointWrite, kind, 2));
+        let _ = checkpointing_supervisor(2, Some(dir.clone())).solve(&problem);
+        let fired = gfp_fault::injected_total();
+        gfp_fault::disarm();
+        assert!(fired > 0, "{label}: fault never fired");
+
+        let resumed = checkpointing_supervisor(3, None)
+            .resume_from_dir(&problem, &dir)
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_placed(&resumed, label);
+        assert_eq!(resumed.checkpoint.round, 3, "{label}: resume did not finish all rounds");
+        assert_eq!(
+            position_bits(&reference),
+            position_bits(&resumed),
+            "{label}: resumed placement diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Seeded plans are reproducible: the same seed yields the same plan,
 /// and an armed seeded plan upholds the no-panic/always-place contract.
 #[test]

@@ -59,16 +59,24 @@ pub enum Site {
     CsrMatvec,
     /// Lanczos partial eigensolver entry (`gfp-linalg`, `lanczos.rs`).
     Lanczos,
+    /// Durable snapshot write (`gfp-store`, `snapshot.rs`). Kinds map
+    /// to storage failures: `Nan`/`Inf`/`Stall` → the write fails with
+    /// an injected I/O error (nothing lands on disk), `BudgetExhaust`
+    /// → a torn write (only a prefix of the record persists),
+    /// `PerturbResidual` → one payload byte is flipped after the CRC
+    /// is computed (silent corruption).
+    CheckpointWrite,
 }
 
 impl Site {
     /// Every instrumented site, for matrix-style tests.
-    pub const ALL: [Site; 5] = [
+    pub const ALL: [Site; 6] = [
         Site::AdmmIter,
         Site::IpmNewton,
         Site::Eigh,
         Site::CsrMatvec,
         Site::Lanczos,
+        Site::CheckpointWrite,
     ];
 
     /// Stable name used in telemetry events.
@@ -79,6 +87,7 @@ impl Site {
             Site::Eigh => "eigh",
             Site::CsrMatvec => "csr.matvec",
             Site::Lanczos => "lanczos",
+            Site::CheckpointWrite => "checkpoint.write",
         }
     }
 
@@ -90,6 +99,7 @@ impl Site {
             Site::Eigh => 2,
             Site::CsrMatvec => 3,
             Site::Lanczos => 4,
+            Site::CheckpointWrite => 5,
         }
     }
 }
@@ -247,7 +257,8 @@ mod imp {
 
     static ARMED: AtomicBool = AtomicBool::new(false);
     static FIRED_TOTAL: AtomicU64 = AtomicU64::new(0);
-    static HITS: [AtomicU64; 5] = [
+    static HITS: [AtomicU64; 6] = [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),

@@ -97,6 +97,49 @@ impl CsrMat {
         self.values.len()
     }
 
+    /// The raw CSR arrays `(indptr, indices, values)` — the
+    /// serialization surface used by the checkpoint codec. Together
+    /// with [`nrows`](Self::nrows)/[`ncols`](Self::ncols) this is the
+    /// complete structural state of the matrix.
+    pub fn csr_parts(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.indptr, &self.indices, &self.values)
+    }
+
+    /// Rebuilds a matrix from raw CSR arrays as produced by
+    /// [`csr_parts`](Self::csr_parts). Returns `None` when the arrays
+    /// are not a structurally valid CSR triple (wrong `indptr` length,
+    /// non-monotone offsets, misaligned `indices`/`values`, or a
+    /// column index out of range) — deserialized bytes are untrusted,
+    /// so this never panics.
+    pub fn from_csr_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Option<Self> {
+        if indptr.len() != rows + 1 || indptr.first() != Some(&0) {
+            return None;
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        let nnz = *indptr.last()?;
+        if indices.len() != nnz || values.len() != nnz {
+            return None;
+        }
+        if indices.iter().any(|&c| c >= cols) {
+            return None;
+        }
+        Some(CsrMat {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Iterates over the nonzeros of row `i` as `(col, value)` pairs.
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.indptr[i];

@@ -24,12 +24,14 @@ pub enum NetlistError {
         /// The offending area.
         area: f64,
     },
-    /// A bookshelf file could not be parsed.
+    /// A benchmark file could not be parsed.
     Parse {
-        /// Which file kind (`blocks`, `nets`, `pl`).
+        /// Which file kind (`blocks`, `nets`, `pl`, `yal`).
         file: &'static str,
-        /// 1-based line number.
+        /// 1-based line number (0 = unknown).
         line: usize,
+        /// 1-based column of the offending token (0 = unknown).
+        column: usize,
         /// What went wrong.
         reason: String,
     },
@@ -45,8 +47,20 @@ impl fmt::Display for NetlistError {
             NetlistError::InvalidArea { name, area } => {
                 write!(f, "module {name} has invalid area {area}")
             }
-            NetlistError::Parse { file, line, reason } => {
-                write!(f, "parse error in .{file} file at line {line}: {reason}")
+            NetlistError::Parse {
+                file,
+                line,
+                column,
+                reason,
+            } => {
+                write!(f, "parse error in .{file} file")?;
+                if *line > 0 {
+                    write!(f, " at line {line}")?;
+                    if *column > 0 {
+                        write!(f, ", column {column}")?;
+                    }
+                }
+                write!(f, ": {reason}")
             }
         }
     }

@@ -230,17 +230,20 @@ pub fn specs() -> Vec<SuiteSpec> {
     ]
 }
 
+/// Generates a benchmark by name, or `None` for unknown names — the
+/// non-panicking entry point for externally supplied names (CLI args,
+/// config files); see [`specs`] for the valid set.
+pub fn try_by_name(name: &str) -> Option<Benchmark> {
+    specs().iter().find(|s| s.name == name).map(generate)
+}
+
 /// Generates a benchmark by name.
 ///
 /// # Panics
 ///
 /// Panics for unknown names; see [`specs`] for the valid set.
 pub fn by_name(name: &str) -> Benchmark {
-    let spec = specs()
-        .into_iter()
-        .find(|s| s.name == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    generate(&spec)
+    try_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"))
 }
 
 /// The GSRC n10 stand-in (10 modules, 118 nets).
@@ -284,6 +287,13 @@ pub fn all() -> Vec<Benchmark> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_by_name_rejects_unknown_names() {
+        assert!(try_by_name("n10").is_some());
+        assert!(try_by_name("n9999").is_none());
+        assert!(try_by_name("").is_none());
+    }
 
     #[test]
     fn statistics_match_paper() {

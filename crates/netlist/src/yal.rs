@@ -57,16 +57,22 @@ fn is_power_signal(name: &str) -> bool {
 }
 
 /// Splits YAL text into `;`-terminated statements, dropping comments
-/// (`/* … */` blocks and `$ …` line comments).
-fn statements(text: &str) -> Vec<String> {
+/// (`/* … */` blocks and `$ …` line comments). Each statement carries
+/// the 1-based line its first token starts on, so parse errors can
+/// point back into the original file.
+fn statements(text: &str) -> Vec<(usize, String)> {
+    // Strip comments while preserving every newline, so line counting
+    // over the cleaned text matches the original.
     let mut cleaned = String::with_capacity(text.len());
     let mut chars = text.chars().peekable();
     while let Some(c) = chars.next() {
         if c == '/' && chars.peek() == Some(&'*') {
             chars.next();
-            // consume until "*/"
             let mut prev = ' ';
             for c2 in chars.by_ref() {
+                if c2 == '\n' {
+                    cleaned.push('\n');
+                }
                 if prev == '*' && c2 == '/' {
                     break;
                 }
@@ -76,19 +82,41 @@ fn statements(text: &str) -> Vec<String> {
         } else if c == '$' {
             for c2 in chars.by_ref() {
                 if c2 == '\n' {
+                    cleaned.push('\n');
                     break;
                 }
             }
-            cleaned.push('\n');
         } else {
             cleaned.push(c);
         }
     }
-    cleaned
-        .split(';')
-        .map(|s| s.split_whitespace().collect::<Vec<_>>().join(" "))
-        .filter(|s| !s.is_empty())
-        .collect()
+
+    let mut stmts = Vec::new();
+    let mut line = 1usize;
+    let mut start_line = 0usize; // 0 = no token seen yet
+    let mut buf = String::new();
+    for c in cleaned.chars() {
+        if c == ';' {
+            let s = buf.split_whitespace().collect::<Vec<_>>().join(" ");
+            if !s.is_empty() {
+                stmts.push((start_line.max(1), s));
+            }
+            buf.clear();
+            start_line = 0;
+        } else {
+            if c == '\n' {
+                line += 1;
+            } else if !c.is_whitespace() && start_line == 0 {
+                start_line = line;
+            }
+            buf.push(c);
+        }
+    }
+    let s = buf.split_whitespace().collect::<Vec<_>>().join(" ");
+    if !s.is_empty() {
+        stmts.push((start_line.max(1), s));
+    }
+    stmts
 }
 
 #[derive(Debug, Default)]
@@ -107,20 +135,21 @@ struct ModuleDef {
 /// construction errors.
 pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> {
     let stmts = statements(text);
-    let err = |reason: String| NetlistError::Parse {
+    let err_at = |line: usize, reason: String| NetlistError::Parse {
         file: "yal",
-        line: 0,
+        line,
+        column: 0,
         reason,
     };
 
     let mut defs: HashMap<String, ModuleDef> = HashMap::new();
     let mut parent_pads: Vec<Pad> = Vec::new();
-    // (instance name, module type, signals)
-    let mut instances: Vec<(String, String, Vec<String>)> = Vec::new();
+    // (source line, instance name, module type, signals)
+    let mut instances: Vec<(usize, String, String, Vec<String>)> = Vec::new();
 
     let mut k = 0usize;
     while k < stmts.len() {
-        let s = &stmts[k];
+        let (_, s) = &stmts[k];
         k += 1;
         let Some(rest) = s.strip_prefix("MODULE ") else {
             continue;
@@ -129,17 +158,21 @@ pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> 
         let mut def = ModuleDef::default();
         let mut is_parent = false;
         // Scan until ENDMODULE.
-        while k < stmts.len() && stmts[k] != "ENDMODULE" {
-            let st = stmts[k].clone();
+        while k < stmts.len() && stmts[k].1 != "ENDMODULE" {
+            let (sline, st) = stmts[k].clone();
             k += 1;
             if let Some(t) = st.strip_prefix("TYPE ") {
                 is_parent = t.trim().eq_ignore_ascii_case("PARENT");
             } else if let Some(d) = st.strip_prefix("DIMENSIONS ") {
                 let nums: Result<Vec<f64>, _> =
                     d.split_whitespace().map(str::parse::<f64>).collect();
-                let nums = nums.map_err(|_| err(format!("bad DIMENSIONS in {mod_name}")))?;
+                let nums =
+                    nums.map_err(|_| err_at(sline, format!("bad DIMENSIONS in {mod_name}")))?;
                 if nums.len() < 6 || nums.len() % 2 != 0 {
-                    return Err(err(format!("DIMENSIONS needs ≥3 (x,y) pairs in {mod_name}")));
+                    return Err(err_at(
+                        sline,
+                        format!("DIMENSIONS needs ≥3 (x,y) pairs in {mod_name}"),
+                    ));
                 }
                 let xs: Vec<f64> = nums.iter().step_by(2).copied().collect();
                 let ys: Vec<f64> = nums.iter().skip(1).step_by(2).copied().collect();
@@ -149,8 +182,8 @@ pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> 
                     - ys.iter().cloned().fold(f64::MAX, f64::min);
                 def.area = w * h;
             } else if st == "IOLIST" {
-                while k < stmts.len() && stmts[k] != "ENDIOLIST" {
-                    let pin = stmts[k].clone();
+                while k < stmts.len() && stmts[k].1 != "ENDIOLIST" {
+                    let pin = stmts[k].1.clone();
                     k += 1;
                     let tokens: Vec<&str> = pin.split_whitespace().collect();
                     if tokens.is_empty() {
@@ -174,15 +207,16 @@ pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> 
                 }
                 k += 1; // skip ENDIOLIST
             } else if st == "NETWORK" {
-                while k < stmts.len() && stmts[k] != "ENDNETWORK" {
-                    let line = stmts[k].clone();
+                while k < stmts.len() && stmts[k].1 != "ENDNETWORK" {
+                    let (nline, line) = stmts[k].clone();
                     k += 1;
                     let tokens: Vec<String> =
                         line.split_whitespace().map(str::to_string).collect();
                     if tokens.len() < 2 {
-                        return Err(err(format!("bad NETWORK line: {line}")));
+                        return Err(err_at(nline, format!("bad NETWORK line: {line}")));
                     }
                     instances.push((
+                        nline,
                         tokens[0].clone(),
                         tokens[1].clone(),
                         tokens[2..].to_vec(),
@@ -198,18 +232,27 @@ pub fn parse(text: &str, options: &YalOptions) -> Result<Netlist, NetlistError> 
     }
 
     if instances.is_empty() {
-        return Err(err("no TYPE PARENT module with a NETWORK section found".into()));
+        return Err(err_at(
+            0,
+            "no TYPE PARENT module with a NETWORK section found".into(),
+        ));
     }
 
     // Build modules (one per instance) and signal → endpoints map.
     let mut modules = Vec::with_capacity(instances.len());
     let mut signal_endpoints: HashMap<String, Vec<PinRef>> = HashMap::new();
-    for (idx, (inst, mod_type, signals)) in instances.iter().enumerate() {
-        let def = defs
-            .get(mod_type)
-            .ok_or_else(|| err(format!("instance {inst} references unknown module {mod_type}")))?;
+    for (idx, (iline, inst, mod_type, signals)) in instances.iter().enumerate() {
+        let def = defs.get(mod_type).ok_or_else(|| {
+            err_at(
+                *iline,
+                format!("instance {inst} references unknown module {mod_type}"),
+            )
+        })?;
         if def.area <= 0.0 {
-            return Err(err(format!("module type {mod_type} has no DIMENSIONS")));
+            return Err(err_at(
+                *iline,
+                format!("module type {mod_type} has no DIMENSIONS"),
+            ));
         }
         modules.push(Module::new(inst.clone(), def.area));
         for sig in signals {
@@ -353,6 +396,70 @@ ENDMODULE;
             parse(text, &YalOptions::default()),
             Err(NetlistError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn bad_dimensions_reports_the_statement_line() {
+        let text = "$ header comment\nMODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 zz;\nENDMODULE;\nMODULE bound;\nTYPE PARENT;\nNETWORK;\nI1 a S1;\nENDNETWORK;\nENDMODULE;\n";
+        match parse(text, &YalOptions::default()) {
+            Err(NetlistError::Parse {
+                file: "yal",
+                line: 4,
+                reason,
+                ..
+            }) => assert!(reason.contains("bad DIMENSIONS"), "{reason}"),
+            other => panic!("expected a line-4 yal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_numbers_survive_block_comments() {
+        let text = "/* two\nline comment */\nMODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 0 1;\nENDMODULE;\n";
+        match parse(text, &YalOptions::default()) {
+            Err(NetlistError::Parse { line: 5, reason, .. }) => {
+                assert!(reason.contains("(x,y) pairs"), "{reason}")
+            }
+            other => panic!("expected a line-5 yal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_network_line_reports_its_line() {
+        let text = "MODULE a;\nTYPE GENERAL;\nDIMENSIONS 0 0 0 1 1 1 1 0;\nENDMODULE;\nMODULE bound;\nTYPE PARENT;\nNETWORK;\nlonely;\nENDNETWORK;\nENDMODULE;\n";
+        match parse(text, &YalOptions::default()) {
+            Err(NetlistError::Parse {
+                file: "yal",
+                line: 8,
+                reason,
+                ..
+            }) => assert!(reason.contains("bad NETWORK line"), "{reason}"),
+            other => panic!("expected a line-8 yal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_instance_reports_the_network_line() {
+        let text = "MODULE bound;\nTYPE PARENT;\nNETWORK;\nC1 nosuch SIG;\nENDNETWORK;\nENDMODULE;\n";
+        match parse(text, &YalOptions::default()) {
+            Err(NetlistError::Parse {
+                file: "yal",
+                line: 4,
+                reason,
+                ..
+            }) => assert!(reason.contains("unknown module"), "{reason}"),
+            other => panic!("expected a line-4 yal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        // Every prefix of the sample must parse or fail structurally.
+        for end in 0..SAMPLE.len() {
+            if !SAMPLE.is_char_boundary(end) {
+                continue;
+            }
+            let _ = parse(&SAMPLE[..end], &YalOptions::default());
+        }
     }
 
     #[test]

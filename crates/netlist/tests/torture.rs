@@ -1,0 +1,170 @@
+//! Seeded byte-mutation torture tests for the benchmark parsers.
+//!
+//! The ingestion contract of the robustness layer: **malformed input
+//! yields a structured [`NetlistError`], never a panic**. Each case
+//! starts from a valid file, applies a seeded burst of byte-level
+//! mutations (bit flips, insertions, deletions, truncations, block
+//! duplication) and runs the parser on the result. Any panic fails
+//! the test; the `Result` itself is irrelevant — a mutation may well
+//! leave the file valid.
+//!
+//! Seeds are fixed, so a failure reproduces bit-identically.
+
+use gfp_netlist::bookshelf::{self, BookshelfFiles};
+use gfp_netlist::yal::{self, YalOptions};
+use gfp_netlist::{suite, NetlistError};
+use gfp_rand::Rng;
+
+/// Applies one random byte-level mutation in place.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Rng) {
+    if bytes.is_empty() {
+        bytes.push((rng.next_u64() & 0x7f) as u8);
+        return;
+    }
+    let len = bytes.len();
+    match rng.next_u64() % 5 {
+        0 => {
+            // Flip one bit.
+            let i = (rng.next_u64() as usize) % len;
+            bytes[i] ^= 1 << (rng.next_u64() % 8);
+        }
+        1 => {
+            // Insert an arbitrary byte.
+            let i = (rng.next_u64() as usize) % (len + 1);
+            bytes.insert(i, (rng.next_u64() & 0xff) as u8);
+        }
+        2 => {
+            // Delete a byte.
+            let i = (rng.next_u64() as usize) % len;
+            bytes.remove(i);
+        }
+        3 => {
+            // Truncate to an arbitrary prefix.
+            bytes.truncate((rng.next_u64() as usize) % len);
+        }
+        _ => {
+            // Duplicate a random slice somewhere else.
+            let a = (rng.next_u64() as usize) % len;
+            let b = a + ((rng.next_u64() as usize) % (len - a)).min(64);
+            let chunk: Vec<u8> = bytes[a..b].to_vec();
+            let at = (rng.next_u64() as usize) % (len + 1);
+            bytes.splice(at..at, chunk);
+        }
+    }
+}
+
+fn mutated(text: &str, rng: &mut Rng) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..1 + rng.next_u64() % 8 {
+        mutate(&mut bytes, rng);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+const YAL_SAMPLE: &str = r#"
+/* torture base: a tiny YAL netlist */
+MODULE cell_a;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 10 20 10 20 0;
+IOLIST;
+  P1 B 0 5 METAL1;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE bound;
+TYPE PARENT;
+IOLIST;
+  PADIN PI 0 100;
+ENDIOLIST;
+NETWORK;
+  C1 cell_a SIG1 SIG2;
+  C2 cell_a SIG2 PADIN;
+ENDNETWORK;
+ENDMODULE;
+"#;
+
+#[test]
+fn bookshelf_parser_never_panics_on_mutated_input() {
+    let base = bookshelf::write(&suite::gsrc_n10().netlist, 1.0 / 3.0, 3.0);
+    for seed in 0..240u64 {
+        let mut rng = Rng::seed_from_u64(0xB00C_0000 + seed);
+        let mut files = BookshelfFiles {
+            blocks: base.blocks.clone(),
+            nets: base.nets.clone(),
+            pl: base.pl.clone(),
+        };
+        // Mutate one of the three files per round, rotating by seed.
+        match seed % 3 {
+            0 => files.blocks = mutated(&base.blocks, &mut rng),
+            1 => files.nets = mutated(&base.nets, &mut rng),
+            _ => files.pl = mutated(&base.pl, &mut rng),
+        }
+        let _ = bookshelf::parse(&files);
+    }
+}
+
+#[test]
+fn yal_parser_never_panics_on_mutated_input() {
+    for seed in 0..240u64 {
+        let mut rng = Rng::seed_from_u64(0x7A1_0000 + seed);
+        let text = mutated(YAL_SAMPLE, &mut rng);
+        let _ = yal::parse(&text, &YalOptions::default());
+        let _ = yal::parse(&text, &YalOptions { skip_power: false });
+    }
+}
+
+#[test]
+fn placement_parser_never_panics_on_mutated_input() {
+    let bench = suite::gsrc_n10();
+    let rects: Vec<gfp_netlist::geometry::Rect> = (0..10)
+        .map(|i| gfp_netlist::geometry::Rect::new(i as f64, 0.0, 1.0, 1.0))
+        .collect();
+    let base = bookshelf::write_placement(&bench.netlist, &rects);
+    for seed in 0..160u64 {
+        let mut rng = Rng::seed_from_u64(0x91AC_0000 + seed);
+        let text = mutated(&base, &mut rng);
+        let _ = bookshelf::parse_placement(&bench.netlist, &text);
+    }
+}
+
+/// Feeding the wrong file into each slot must fail structurally, not
+/// crash: the classic operator error the parsers have to survive.
+#[test]
+fn swapped_file_roles_are_structured_errors() {
+    let base = bookshelf::write(&suite::gsrc_n10().netlist, 1.0 / 3.0, 3.0);
+    let swaps = [
+        BookshelfFiles {
+            blocks: base.nets.clone(),
+            nets: base.blocks.clone(),
+            pl: base.pl.clone(),
+        },
+        BookshelfFiles {
+            blocks: base.pl.clone(),
+            nets: base.nets.clone(),
+            pl: base.blocks.clone(),
+        },
+        BookshelfFiles {
+            blocks: YAL_SAMPLE.into(),
+            nets: YAL_SAMPLE.into(),
+            pl: YAL_SAMPLE.into(),
+        },
+    ];
+    for (i, files) in swaps.iter().enumerate() {
+        match bookshelf::parse(files) {
+            Ok(_) => panic!("swap {i}: mis-slotted files parsed as a netlist"),
+            Err(
+                NetlistError::Parse { .. }
+                | NetlistError::UnknownPin { .. }
+                | NetlistError::DuplicateName { .. }
+                | NetlistError::InvalidArea { .. },
+            ) => {}
+            Err(other) => panic!("swap {i}: unexpected error {other:?}"),
+        }
+    }
+    // Bookshelf text through the YAL parser.
+    match yal::parse(&base.blocks, &YalOptions::default()) {
+        Ok(_) => panic!("a .blocks file parsed as YAL"),
+        Err(NetlistError::Parse { file: "yal", .. }) => {}
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+}

@@ -1,0 +1,56 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over byte
+//! slices — the per-record corruption detector of the snapshot format.
+//!
+//! A 256-entry table is computed once at first use; the checksum of a
+//! given byte string is stable across platforms and endianness (the
+//! caller feeds bytes, never wider integers).
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE, as used by zip/png/ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let a = b"snapshot payload".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

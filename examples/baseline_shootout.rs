@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}: {} modules, outline {:.0} x {:.0}\n", bench.name, problem.n, outline.width, outline.height);
     println!("{:<12} {:>10} {:>9}", "method", "HPWL", "seconds");
 
-    let mut report = |name: &str, positions: Option<Vec<(f64, f64)>>, secs: f64| {
+    let report = |name: &str, positions: Option<Vec<(f64, f64)>>, secs: f64| {
         let hpwl = positions.and_then(|pos| {
             legalize(&netlist, &problem, &outline, &pos, &LegalizeSettings::default())
                 .ok()

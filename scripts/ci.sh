@@ -41,6 +41,32 @@ echo "== workspace tests (GFP_THREADS=2, spectral fast path off) =="
 GFP_NO_SPECTRAL_FASTPATH=1 GFP_THREADS=2 \
     cargo test -q -p gfp-parallel -p gfp-linalg -p gfp-conic -p gfp-core
 
+echo "== crash recovery + ingestion torture (GFP_THREADS=2) =="
+# Process-level kill-and-resume matrix (the harness binary aborts
+# itself mid-solve) and the seeded byte-mutation parser torture tests.
+GFP_THREADS=2 cargo test -q -p gfp --test crash_resume
+GFP_THREADS=2 cargo test -q -p gfp-netlist --test torture
+
+echo "== traced checkpoint smoke run =="
+# A checkpointing solve plus a resume, each with GFP_TRACE pointed at a
+# JSONL file; the durable-store telemetry must actually reach the
+# trace stream, not just the in-memory counters.
+rm -rf target/ckpt-smoke target/ckpt_trace_solve.jsonl target/ckpt_trace_resume.jsonl
+GFP_TRACE=target/ckpt_trace_solve.jsonl GFP_THREADS=2 \
+    target/release/checkpoint_solve --dir target/ckpt-smoke --rounds 2 \
+    --out target/ckpt-smoke-solve.txt
+GFP_TRACE=target/ckpt_trace_resume.jsonl GFP_THREADS=2 \
+    target/release/checkpoint_solve --dir target/ckpt-smoke --rounds 3 --resume \
+    --out target/ckpt-smoke-resume.txt
+if ! grep -q '"name":"store.snapshot_write"' target/ckpt_trace_solve.jsonl; then
+    echo "FAIL: no store.snapshot_write event in the solve trace" >&2
+    exit 1
+fi
+if ! grep -q '"name":"store.resume"' target/ckpt_trace_resume.jsonl; then
+    echo "FAIL: no store.resume event in the resume trace" >&2
+    exit 1
+fi
+
 echo "== kernel bench (smoke) =="
 # Quick serial-vs-parallel run of the hot kernels; asserts bitwise
 # identical outputs and writes target/BENCH_kernels.smoke.json. The

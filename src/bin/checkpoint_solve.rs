@@ -1,0 +1,131 @@
+//! Crash-harness driver for the durable-checkpoint subsystem.
+//!
+//! Runs a small deterministic supervised solve that checkpoints every
+//! round into `--dir`, and can kill **its own process** the instant a
+//! chosen snapshot generation appears on disk — the integration tests
+//! (`tests/crash_resume.rs`) spawn this binary, let it die mid-solve
+//! and then relaunch it with `--resume` to prove process-level
+//! crash recovery lands bitwise-identically.
+//!
+//! ```text
+//! checkpoint_solve --dir DIR [--resume] [--out FILE]
+//!                  [--abort-at-snapshot GEN] [--rounds N]
+//! ```
+//!
+//! * `--dir DIR` — checkpoint directory (required).
+//! * `--resume` — restart from the newest good snapshot in DIR
+//!   instead of solving from scratch.
+//! * `--out FILE` — write the result (quality, round, iterations and
+//!   per-module position bits as hex) for bitwise comparison. No
+//!   wall-clock values are written, so outputs are comparable.
+//! * `--abort-at-snapshot GEN` — watcher thread calls
+//!   `std::process::abort()` as soon as `snap-<GEN>.gfps` exists:
+//!   a hard kill with no destructors, mid-solve by construction.
+//! * `--rounds N` — outer-round budget (default 3).
+//!
+//! Exit codes: 0 success, 2 bad usage, 3 resume failure.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gfp_core::supervisor::{SolveSupervisor, SupervisorSettings};
+use gfp_core::{FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions};
+use gfp_netlist::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: checkpoint_solve --dir DIR [--resume] [--out FILE] \
+         [--abort-at-snapshot GEN] [--rounds N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    gfp_telemetry::init_from_env();
+
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut abort_at: Option<u64> = None;
+    let mut rounds: usize = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--resume" => resume = true,
+            "--abort-at-snapshot" => {
+                abort_at = args.next().and_then(|s| s.parse().ok());
+                if abort_at.is_none() {
+                    usage();
+                }
+            }
+            "--rounds" => {
+                rounds = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    // Hard-kill the process the moment the target generation lands.
+    // `abort()` runs no destructors: whatever the solver was doing —
+    // including a half-written later snapshot — stays as-is on disk,
+    // exactly like a power cut.
+    if let Some(generation) = abort_at {
+        let snap = dir.join(format!("snap-{generation:010}.gfps"));
+        std::thread::spawn(move || loop {
+            if snap.exists() {
+                std::process::abort();
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        });
+    }
+
+    // Fixed seeded problem: small enough to solve in well under a
+    // second, multi-round so there is a mid-solve window to die in.
+    let bench = suite::gsrc_n10();
+    let problem = GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+        .expect("suite netlist is well-formed");
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_iter = 3;
+    settings.max_alpha_rounds = rounds;
+    settings.eps_rank = 1e-12; // unreachable: the round count is fixed
+    let supervisor = SolveSupervisor::with_supervision(
+        settings,
+        SupervisorSettings {
+            checkpoint_dir: Some(dir.clone()),
+            ..SupervisorSettings::default()
+        },
+    );
+
+    let result = if resume {
+        match supervisor.resume_from_dir(&problem, &dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                std::process::exit(3);
+            }
+        }
+    } else {
+        supervisor.solve(&problem)
+    };
+
+    // Bit-exact, timing-free result record.
+    let mut report = String::new();
+    report.push_str(&format!("quality {}\n", result.quality.as_str()));
+    report.push_str(&format!("round {}\n", result.checkpoint.round));
+    report.push_str(&format!("iterations {}\n", result.floorplan.iterations));
+    report.push_str(&format!("recoveries {}\n", result.recoveries));
+    for &(x, y) in &result.floorplan.positions {
+        report.push_str(&format!("pos {:016x} {:016x}\n", x.to_bits(), y.to_bits()));
+    }
+    match &out {
+        Some(path) => std::fs::write(path, &report).expect("write --out file"),
+        None => print!("{report}"),
+    }
+    gfp_telemetry::flush();
+}

@@ -1,0 +1,66 @@
+//! Slow-tier guard on the cost of crash safety: a supervised solve
+//! with per-round durable checkpoints (encode + temp file + fsync +
+//! rename each round) must finish within 5% of the wall time of the
+//! identical solve without persistence.
+//!
+//! `#[ignore]`d from the fast tier (wall-clock measurement); ci.sh
+//! runs it via `cargo test -- --ignored`. Best-of-2 per configuration
+//! keeps scheduler noise out of the comparison while staying cheap
+//! enough for debug builds of the numeric pipeline.
+
+use std::time::Instant;
+
+use gfp_core::supervisor::{SolveSupervisor, SupervisorSettings};
+use gfp_core::{FloorplannerSettings, GlobalFloorplanProblem, ProblemOptions};
+use gfp_netlist::suite;
+
+#[test]
+#[ignore = "slow tier: wall-clock overhead measurement"]
+fn checkpointing_adds_under_five_percent_wall_time() {
+    let bench = suite::gsrc_n30();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default()).unwrap();
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_iter = 2;
+    settings.max_alpha_rounds = 2;
+    settings.eps_rank = 1e-12; // fixed round count in both configurations
+
+    let dir = std::env::temp_dir().join(format!("gfp-overhead-{}", std::process::id()));
+    let solve = |checkpoint: bool| -> f64 {
+        let sup = SolveSupervisor::with_supervision(
+            settings.clone(),
+            SupervisorSettings {
+                checkpoint_dir: checkpoint.then(|| dir.clone()),
+                ..SupervisorSettings::default()
+            },
+        );
+        let t0 = Instant::now();
+        let r = sup.solve(&problem);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(r.checkpoint.round, 2);
+        secs
+    };
+
+    // Warm-up (page cache, allocator), then alternate best-of-2.
+    let _ = solve(false);
+    let mut plain = f64::INFINITY;
+    let mut durable = f64::INFINITY;
+    for _ in 0..2 {
+        plain = plain.min(solve(false));
+        let _ = std::fs::remove_dir_all(&dir);
+        durable = durable.min(solve(true));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = durable / plain - 1.0;
+    println!(
+        "checkpoint overhead: plain {plain:.3}s, durable {durable:.3}s ({:+.2}%)",
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.05,
+        "durable checkpointing cost {:.2}% wall time (plain {plain:.3}s, durable {durable:.3}s); \
+         the robustness contract caps it at 5%",
+        100.0 * overhead
+    );
+}

@@ -1,0 +1,195 @@
+//! Process-level crash-recovery tests: spawn the `checkpoint_solve`
+//! harness binary, kill it mid-solve (it aborts itself the moment a
+//! chosen snapshot generation lands on disk), then relaunch with
+//! `--resume` and compare the bit-exact result record against an
+//! uninterrupted baseline run.
+//!
+//! This is the end-to-end proof of the durability contract: recovery
+//! works across a **hard process death** (`std::process::abort()`, no
+//! destructors), not just across function calls, and survives torn
+//! and silently corrupted snapshots via CRC + generation fallback.
+//!
+//! All children run with `GFP_THREADS=2` so kernel-level execution is
+//! host-independent; the result record contains no timings.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_checkpoint_solve");
+const HEADER_LEN: usize = 20; // magic + version + flags + len + crc
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfp-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(args)
+        .env("GFP_THREADS", "2")
+        .env_remove("GFP_TRACE")
+        .output()
+        .expect("spawn checkpoint_solve")
+}
+
+/// Uninterrupted run → the golden result record.
+fn baseline(scratch: &Path) -> String {
+    let ckpt = scratch.join("ckpt");
+    let out = scratch.join("baseline.txt");
+    let status = run(&[
+        "--dir",
+        ckpt.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(
+        status.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    std::fs::read_to_string(&out).expect("baseline record")
+}
+
+/// Runs the harness so it aborts itself once snapshot `generation`
+/// exists, returning the checkpoint dir it left behind.
+fn killed_run(scratch: &Path, generation: u64) -> PathBuf {
+    let ckpt = scratch.join("ckpt-killed");
+    let output = run(&[
+        "--dir",
+        ckpt.to_str().unwrap(),
+        "--abort-at-snapshot",
+        &generation.to_string(),
+    ]);
+    assert!(
+        !output.status.success(),
+        "the killed run was supposed to die, but exited cleanly"
+    );
+    assert!(
+        ckpt.join(format!("snap-{generation:010}.gfps")).exists(),
+        "the abort trigger generation never landed on disk"
+    );
+    ckpt
+}
+
+fn resume(scratch: &Path, ckpt: &Path) -> std::process::Output {
+    let out = scratch.join("resumed.txt");
+    run(&[
+        "--dir",
+        ckpt.to_str().unwrap(),
+        "--resume",
+        "--out",
+        out.to_str().unwrap(),
+    ])
+}
+
+fn resumed_record(scratch: &Path) -> String {
+    std::fs::read_to_string(scratch.join("resumed.txt")).expect("resumed record")
+}
+
+fn snapshot_paths(ckpt: &Path) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(ckpt)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "gfps"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn killed_process_resumes_bitwise_identical() {
+    let scratch = temp_dir("clean");
+    let golden = baseline(&scratch);
+    // Die as soon as the round-1 snapshot exists: rounds 2–3 never
+    // complete in the first process.
+    let ckpt = killed_run(&scratch, 1);
+    let output = resume(&scratch, &ckpt);
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        golden,
+        resumed_record(&scratch),
+        "resumed result record is not bit-identical to the baseline"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn torn_newest_snapshot_falls_back_on_resume() {
+    let scratch = temp_dir("torn");
+    let golden = baseline(&scratch);
+    let ckpt = killed_run(&scratch, 2);
+    // Tear the newest surviving snapshot mid-record, as a crash during
+    // a non-atomic write would.
+    let newest = snapshot_paths(&ckpt).pop().expect("snapshots on disk");
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..HEADER_LEN + (bytes.len() - HEADER_LEN) / 2]).unwrap();
+
+    let output = resume(&scratch, &ckpt);
+    assert!(
+        output.status.success(),
+        "resume failed on a torn snapshot: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        golden,
+        resumed_record(&scratch),
+        "fallback resume diverged from the baseline"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn crc_corrupted_snapshot_falls_back_on_resume() {
+    let scratch = temp_dir("crc");
+    let golden = baseline(&scratch);
+    let ckpt = killed_run(&scratch, 2);
+    // Flip one payload byte in the newest snapshot: the length still
+    // matches, only the CRC can catch this.
+    let newest = snapshot_paths(&ckpt).pop().expect("snapshots on disk");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let idx = HEADER_LEN + (bytes.len() - HEADER_LEN) / 3;
+    bytes[idx] ^= 0x10;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let output = resume(&scratch, &ckpt);
+    assert!(
+        output.status.success(),
+        "resume failed on a CRC-corrupt snapshot: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        golden,
+        resumed_record(&scratch),
+        "CRC-fallback resume diverged from the baseline"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn all_generations_corrupt_is_a_clean_failure() {
+    let scratch = temp_dir("allbad");
+    let ckpt = killed_run(&scratch, 1);
+    for path in snapshot_paths(&ckpt) {
+        std::fs::write(&path, b"not a snapshot").unwrap();
+    }
+    let output = resume(&scratch, &ckpt);
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "expected the resume-failure exit code, got {:?} (stderr: {})",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("resume failed"),
+        "missing structured resume error on stderr"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

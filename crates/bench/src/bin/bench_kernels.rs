@@ -1,8 +1,9 @@
 //! Tracked kernel benchmark baseline: serial vs parallel wall time for
 //! the hot numeric kernels (`matmul`, `eigh`, `project_psd`,
 //! `lanczos`, `subproblem2`) at n ∈ {50, 100, 200}, plus the spectral
-//! fast-path and end-to-end sections, written to `BENCH_kernels.json`
-//! at the repo root so regressions show up in review diffs.
+//! fast-path, checkpoint, telemetry-overhead and end-to-end sections,
+//! written to `BENCH_kernels.json` at the repo root so regressions
+//! show up in review diffs.
 //!
 //! Serial and parallel columns are measured in one process by swapping
 //! the thread-local `gfp-parallel` pool (1 worker vs `GFP_THREADS`,
@@ -30,6 +31,7 @@ use std::path::PathBuf;
 
 use gfp_bench::microbench::{
     write_kernel_report, CheckpointReport, E2eReport, FastpathReport, Group, KernelRecord,
+    TelemetryReport,
 };
 use gfp_conic::{AdmmSettings, Cone};
 use gfp_core::iterate::{Backend, FloorplannerSettings};
@@ -274,6 +276,63 @@ fn checkpoint_section(group: &Group, instance: &str, samples: usize) -> Checkpoi
     }
 }
 
+/// Full-observability overhead: structured-event throughput through a
+/// real JSONL file sink (the `GFP_TRACE` configuration), plus the
+/// encode + write cost of the `SolveReport` a `GFP_REPORT` run pays
+/// once at exit.
+fn telemetry_section(group: &Group, samples: usize, smoke: bool) -> TelemetryReport {
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("gfp-bench-telemetry-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+
+    // Event throughput: batches of two-field events into a buffered
+    // JSONL file sink. Mean seconds per batch → events per second.
+    let batch = if smoke { 2_000u64 } else { 20_000u64 };
+    let sink =
+        telemetry::JsonlSink::create(&dir.join("events.jsonl")).expect("open bench trace sink");
+    telemetry::install_sink(Arc::new(sink));
+    let batch_secs = group.bench("telemetry/events/jsonl", samples, || {
+        for i in 0..batch {
+            telemetry::event(
+                "bench.event",
+                &[("i", telemetry::Value::U64(i)), ("phase", telemetry::Value::Str("bench"))],
+            );
+        }
+        batch
+    });
+    telemetry::install_sink(Arc::new(telemetry::NullSink));
+    let events_per_sec = if batch_secs > 0.0 { batch as f64 / batch_secs } else { 0.0 };
+
+    // Report cost on a real (budgeted) supervised n50 solve: encode to
+    // JSON, then the full file write.
+    let bench = suite::gsrc_n50();
+    let problem =
+        GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
+            .expect("n50 problem");
+    let mut settings = FloorplannerSettings::fast();
+    settings.max_iter = 2;
+    settings.max_alpha_rounds = 2;
+    let result = SolveSupervisor::new(settings).solve(&problem);
+    let report = result.solve_report();
+    let report_bytes = report.to_json().len();
+    let report_encode_secs =
+        group.bench("telemetry/report/encode", samples, || report.to_json().len());
+    let report_path = dir.join("solve-report.json");
+    let report_write_secs = group.bench("telemetry/report/write", samples, || {
+        report.write_to(&report_path).expect("write bench solve report")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    TelemetryReport {
+        events_per_sec,
+        report_rounds: report.rounds.len(),
+        report_bytes,
+        report_encode_secs,
+        report_write_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -360,6 +419,7 @@ fn main() {
     // Checkpoint overhead on the paper-scale instance; the smoke tier
     // uses n50 to stay fast while still exercising the fsync path.
     let ckpt_report = checkpoint_section(&group, if smoke { "n50" } else { "n200" }, samples);
+    let telemetry_report = telemetry_section(&group, samples, smoke);
     let e2e = if smoke { None } else { Some(e2e_section()) };
 
     fastpath_report.lanczos_calls = counter("kernel.lanczos.calls") - lanczos0;
@@ -378,6 +438,7 @@ fn main() {
         &records,
         Some(&fastpath_report),
         Some(&ckpt_report),
+        Some(&telemetry_report),
         e2e.as_ref(),
     )
     .expect("write kernel report");
@@ -409,6 +470,15 @@ fn main() {
         ckpt_report.encode_secs * 1e3,
         ckpt_report.write_secs * 1e3,
         100.0 * ckpt_report.overhead_frac(),
+    );
+    println!(
+        "  telemetry: {:.0}k events/s (jsonl sink), report {} rounds / {} KiB, \
+         encode {:.2} ms, write {:.2} ms",
+        telemetry_report.events_per_sec / 1e3,
+        telemetry_report.report_rounds,
+        telemetry_report.report_bytes / 1024,
+        telemetry_report.report_encode_secs * 1e3,
+        telemetry_report.report_write_secs * 1e3,
     );
     let mut ok = all_match;
     if let Some(e) = &e2e {

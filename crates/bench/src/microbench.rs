@@ -186,8 +186,29 @@ impl CheckpointReport {
     }
 }
 
+/// Telemetry overhead measurements: what full observability costs —
+/// structured-event throughput through a real JSONL file sink, and the
+/// encode + write price of one [`SolveReport`] snapshot.
+///
+/// [`SolveReport`]: https://docs.rs/gfp-telemetry
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Structured events per second sustained through a JSONL file
+    /// sink (two fields per event, buffered writer).
+    pub events_per_sec: f64,
+    /// Rounds in the measured solve report (context for the sizes).
+    pub report_rounds: usize,
+    /// Encoded report size in bytes.
+    pub report_bytes: usize,
+    /// Seconds to encode the report to JSON (no I/O).
+    pub report_encode_secs: f64,
+    /// Seconds for encode plus the file write — the one-time cost a
+    /// `GFP_REPORT` run pays at exit.
+    pub report_write_secs: f64,
+}
+
 /// Writes the tracked kernel baseline as a JSON document
-/// (`gfp-kernel-bench-v2`).
+/// (`gfp-kernel-bench-v3`).
 ///
 /// Hand-rolled serialization (the workspace is offline and std-only),
 /// matching the telemetry crate's JSONL conventions. `requested`
@@ -205,11 +226,12 @@ pub fn write_kernel_report(
     records: &[KernelRecord],
     fastpath: Option<&FastpathReport>,
     checkpoint: Option<&CheckpointReport>,
+    telemetry: Option<&TelemetryReport>,
     e2e: Option<&E2eReport>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"gfp-kernel-bench-v2\",\n");
+    out.push_str("  \"schema\": \"gfp-kernel-bench-v3\",\n");
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -266,6 +288,19 @@ pub fn write_kernel_report(
             c.overhead_frac(),
         )),
         None => out.push_str("  \"checkpoint\": null,\n"),
+    }
+    match telemetry {
+        Some(t) => out.push_str(&format!(
+            "  \"telemetry\": {{\"events_per_sec\": {:.0}, \"report_rounds\": {}, \
+             \"report_bytes\": {}, \"report_encode_secs\": {:.9}, \
+             \"report_write_secs\": {:.9}}},\n",
+            t.events_per_sec,
+            t.report_rounds,
+            t.report_bytes,
+            t.report_encode_secs,
+            t.report_write_secs,
+        )),
+        None => out.push_str("  \"telemetry\": null,\n"),
     }
     match e2e {
         Some(e) => out.push_str(&format!(
@@ -351,10 +386,18 @@ mod tests {
             round_secs: 4.0,
         };
         assert!((ckpt.overhead_frac() - 0.002).abs() < 1e-12);
+        let tel = TelemetryReport {
+            events_per_sec: 250_000.0,
+            report_rounds: 6,
+            report_bytes: 40_000,
+            report_encode_secs: 1.0e-4,
+            report_write_secs: 5.0e-4,
+        };
         let dir = std::env::temp_dir().join("gfp_kernel_report_test.json");
-        write_kernel_report(&dir, 4, 1, &[rec], Some(&fast), Some(&ckpt), Some(&e2e)).unwrap();
+        write_kernel_report(&dir, 4, 1, &[rec], Some(&fast), Some(&ckpt), Some(&tel), Some(&e2e))
+            .unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
-        assert!(text.contains("\"schema\": \"gfp-kernel-bench-v2\""));
+        assert!(text.contains("\"schema\": \"gfp-kernel-bench-v3\""));
         assert!(text.contains("\"requested_workers\": 4"));
         assert!(text.contains("\"effective_workers\": 1"));
         assert!(text.contains("\"speedup\": 2.0000"));
@@ -362,16 +405,19 @@ mod tests {
         assert!(text.contains("\"instance\": \"gsrc_n200\""));
         assert!(text.contains("\"state_bytes\": 1500000"));
         assert!(text.contains("\"overhead_frac\": 0.002000"));
+        assert!(text.contains("\"events_per_sec\": 250000"));
+        assert!(text.contains("\"report_bytes\": 40000"));
         let _ = std::fs::remove_file(&dir);
     }
 
     #[test]
     fn report_without_optional_sections_emits_nulls() {
         let dir = std::env::temp_dir().join("gfp_kernel_report_null_test.json");
-        write_kernel_report(&dir, 2, 2, &[], None, None, None).unwrap();
+        write_kernel_report(&dir, 2, 2, &[], None, None, None, None).unwrap();
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"fastpath\": null"));
         assert!(text.contains("\"checkpoint\": null"));
+        assert!(text.contains("\"telemetry\": null"));
         assert!(text.contains("\"e2e\": null"));
         let _ = std::fs::remove_file(&dir);
     }

@@ -191,18 +191,31 @@ impl Pipeline {
     /// and the method name carries the quality verdict (e.g.
     /// `ours[degraded]`) so result tables surface non-clean runs.
     pub fn run_sdp_supervised(&self, settings: FloorplannerSettings) -> MethodResult {
+        self.run_sdp_supervised_with_report(settings).0
+    }
+
+    /// [`run_sdp_supervised`](Self::run_sdp_supervised), additionally
+    /// returning the structured [`SolveReport`](telemetry::SolveReport)
+    /// (`gfp-solve-report-v1`: per-α-round convergence table, span
+    /// tree, metric snapshots) captured at the end of the global
+    /// solve — the same artifact `GFP_REPORT=path` writes to disk.
+    pub fn run_sdp_supervised_with_report(
+        &self,
+        settings: FloorplannerSettings,
+    ) -> (MethodResult, telemetry::SolveReport) {
         let t0 = Instant::now();
         let result = {
             let _span = telemetry::span("pipeline.global");
             SolveSupervisor::new(settings).solve(&self.problem)
         };
         let t = t0.elapsed().as_secs_f64();
+        let report = result.solve_report();
         let method = if result.causes.is_empty() {
             "ours".to_string()
         } else {
             format!("ours[{}]", result.quality.as_str())
         };
-        self.legalize_centers(&method, &result.floorplan.positions, t)
+        (self.legalize_centers(&method, &result.floorplan.positions, t), report)
     }
 
     /// Budget-default SDP settings for this instance.

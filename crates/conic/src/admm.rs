@@ -18,6 +18,24 @@ use crate::scaling::{equilibrate, Equilibration};
 use crate::solution::{SolveInfo, SolveStatus, Solution};
 use crate::{ConeProgram, ConicError};
 
+// Cached metric handles (DESIGN §13): `solve` runs per outer
+// iteration and the CG histogram site sits in the ADMM hot loop, so
+// each site resolves its registry entry once instead of probing the
+// name map on every call.
+static ADMM_CACHE_HIT: telemetry::CounterHandle = telemetry::CounterHandle::new("admm.cache_hit");
+static ADMM_CACHE_BUILD: telemetry::CounterHandle =
+    telemetry::CounterHandle::new("admm.cache_build");
+static ADMM_WARM_REUSE: telemetry::CounterHandle =
+    telemetry::CounterHandle::new("admm.warm_reuse");
+static ADMM_ITERATIONS: telemetry::CounterHandle =
+    telemetry::CounterHandle::new("admm.iterations");
+/// ADMM iterations consumed per solve (distribution across sp1 calls).
+static ADMM_SOLVE_ITERATIONS: telemetry::HistogramHandle =
+    telemetry::HistogramHandle::new("admm.solve_iterations");
+/// Inner CG iterations per x-update.
+static ADMM_CG_ITERATIONS: telemetry::HistogramHandle =
+    telemetry::HistogramHandle::new("admm.cg_iterations");
+
 /// Tuning parameters of the [`AdmmSolver`].
 #[derive(Debug, Clone)]
 pub struct AdmmSettings {
@@ -363,7 +381,7 @@ impl AdmmSolver {
             for (ci, &ei) in c.iter_mut().zip(cache.eq.e.iter()) {
                 *ci *= ei;
             }
-            telemetry::counter_add("admm.cache_hit", 1);
+            ADMM_CACHE_HIT.add(1);
             (
                 cache.a_scaled.clone(),
                 cache.eq.clone(),
@@ -395,7 +413,7 @@ impl AdmmSolver {
                     scaling_iters: st.scaling_iters,
                     prox_eps: st.prox_eps,
                 });
-                telemetry::counter_add("admm.cache_build", 1);
+                ADMM_CACHE_BUILD.add(1);
             }
             (a, eq, diag)
         };
@@ -449,7 +467,7 @@ impl AdmmSolver {
                     }
                     rho = w.rho;
                     warm_duals = true;
-                    telemetry::counter_add("admm.warm_reuse", 1);
+                    ADMM_WARM_REUSE.add(1);
                 }
             }
         }
@@ -519,7 +537,16 @@ impl AdmmSolver {
                 rhs[j] += -c[j] / rho + st.prox_eps * x[j];
             }
             let cg_tol = 1e-10_f64.max(1e-4 / ((iter + 1) as f64).powf(1.3)) * norm2(&rhs).max(1.0);
-            cg_best_effort_with(&op, &rhs, &mut x, cg_tol, st.cg_max_iter, Some(&diag), &mut cg_ws);
+            let (cg_iters, _cg_residual) = cg_best_effort_with(
+                &op,
+                &rhs,
+                &mut x,
+                cg_tol,
+                st.cg_max_iter,
+                Some(&diag),
+                &mut cg_ws,
+            );
+            ADMM_CG_ITERATIONS.record(cg_iters as u64);
 
             // ---- over-relaxation on Ax
             a.matvec_into(&x, &mut ax);
@@ -669,7 +696,8 @@ impl AdmmSolver {
                     ("seconds", t0.elapsed().as_secs_f64().into()),
                 ],
             );
-            telemetry::counter_add("admm.iterations", iterations_used as u64);
+            ADMM_ITERATIONS.add(iterations_used as u64);
+            ADMM_SOLVE_ITERATIONS.record(iterations_used as u64);
         }
 
         Ok((

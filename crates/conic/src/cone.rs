@@ -184,11 +184,15 @@ fn project_psd(v: &mut [f64], n: usize) {
     // large, uncertified residual) falls through to the exact path.
     if n >= PSD_PARTIAL_MIN_N && gfp_linalg::fastpath::enabled() {
         if try_partial_psd(&m, v) {
-            telemetry::counter_add("kernel.eigh_partial.hit", 1);
+            static PARTIAL_HIT: telemetry::CounterHandle =
+                telemetry::CounterHandle::new("kernel.eigh_partial.hit");
+            PARTIAL_HIT.add(1);
             record_psd(timer, "partial");
             return;
         }
-        telemetry::counter_add("kernel.eigh_partial.fallback", 1);
+        static PARTIAL_FALLBACK: telemetry::CounterHandle =
+            telemetry::CounterHandle::new("kernel.eigh_partial.fallback");
+        PARTIAL_FALLBACK.add(1);
     }
     let e = match eigh(&m) {
         Ok(e) => e,
@@ -218,8 +222,12 @@ fn project_psd(v: &mut [f64], n: usize) {
         let cut = PSD_PARTIAL_TOL * scale;
         let sig_neg = e.values.iter().filter(|&&l| l < -cut).count();
         let sig_pos = e.values.iter().filter(|&&l| l > cut).count();
-        telemetry::counter_add("kernel.project_psd.nneg_sum", sig_neg as u64);
-        telemetry::counter_add("kernel.project_psd.npos_sum", sig_pos as u64);
+        static NNEG_SUM: telemetry::CounterHandle =
+            telemetry::CounterHandle::new("kernel.project_psd.nneg_sum");
+        static NPOS_SUM: telemetry::CounterHandle =
+            telemetry::CounterHandle::new("kernel.project_psd.npos_sum");
+        NNEG_SUM.add(sig_neg as u64);
+        NPOS_SUM.add(sig_pos as u64);
     }
     if npos == 0 {
         v.fill(0.0);
@@ -326,13 +334,22 @@ fn try_partial_psd(m: &gfp_linalg::Mat, v: &mut [f64]) -> bool {
 /// resolved it.
 fn record_psd(timer: Option<std::time::Instant>, path: &'static str) {
     let Some(t0) = timer else { return };
-    telemetry::counter_add("kernel.project_psd.calls", 1);
-    telemetry::counter_add("kernel.project_psd.micros", t0.elapsed().as_micros() as u64);
-    match path {
-        "gershgorin_psd" | "gershgorin_nsd" => {
-            telemetry::counter_add("kernel.project_psd.gershgorin_hits", 1);
-        }
-        _ => {}
+    // Hot site (every PSD block, every ADMM iteration): cached
+    // handles, not registry probes.
+    static CALLS: telemetry::CounterHandle =
+        telemetry::CounterHandle::new("kernel.project_psd.calls");
+    static MICROS: telemetry::CounterHandle =
+        telemetry::CounterHandle::new("kernel.project_psd.micros");
+    static WALL: telemetry::HistogramHandle =
+        telemetry::HistogramHandle::new("kernel.project_psd.wall_micros");
+    static GERSHGORIN_HITS: telemetry::CounterHandle =
+        telemetry::CounterHandle::new("kernel.project_psd.gershgorin_hits");
+    let micros = t0.elapsed().as_micros() as u64;
+    CALLS.add(1);
+    MICROS.add(micros);
+    WALL.record(micros);
+    if matches!(path, "gershgorin_psd" | "gershgorin_nsd") {
+        GERSHGORIN_HITS.add(1);
     }
 }
 

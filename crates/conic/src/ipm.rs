@@ -234,7 +234,13 @@ impl BarrierSdp {
                     ("seconds", t_start.elapsed().as_secs_f64().into()),
                 ],
             );
-            telemetry::counter_add("ipm.newton_iterations", total_newton as u64);
+            static NEWTON_TOTAL: telemetry::CounterHandle =
+                telemetry::CounterHandle::new("ipm.newton_iterations");
+            /// Newton iterations consumed per barrier solve.
+            static SOLVE_NEWTON: telemetry::HistogramHandle =
+                telemetry::HistogramHandle::new("ipm.solve_newton_iterations");
+            NEWTON_TOTAL.add(total_newton as u64);
+            SOLVE_NEWTON.record(total_newton as u64);
         }
         Ok(BarrierSolution {
             x,

@@ -31,12 +31,16 @@ use gfp_linalg::sparse::CsrMat;
 use gfp_linalg::Mat;
 use gfp_store::{DecodeError, Decoder, Encoder};
 
-use crate::iterate::{BestIterate, IterTrace, OuterState};
+use crate::iterate::{BestIterate, IterTrace, OuterState, RoundSummary};
 
 /// Version stamped into every snapshot envelope by the supervisor.
 /// Bump when the [`OuterState`] encoding changes shape; decoding
 /// rejects unknown versions instead of guessing.
-pub const STATE_FORMAT_VERSION: u16 = 1;
+///
+/// * v1 — PR 5 initial codec.
+/// * v2 — appended the per-round [`RoundSummary`] table and the
+///   supervisor's pending-recovery note.
+pub const STATE_FORMAT_VERSION: u16 = 2;
 
 fn put_status(e: &mut Encoder, s: SolveStatus) {
     e.put_u8(match s {
@@ -114,6 +118,85 @@ fn get_positions(d: &mut Decoder<'_>) -> Result<Vec<(f64, f64)>, DecodeError> {
     Ok(out)
 }
 
+fn put_round(e: &mut Encoder, r: &RoundSummary) {
+    e.put_usize(r.round);
+    e.put_f64(r.alpha);
+    e.put_usize(r.iterations);
+    e.put_usize(r.sp1_iterations);
+    e.put_u8(match r.backend {
+        "ipm" => 1,
+        _ => 0,
+    });
+    e.put_f64(r.objective);
+    e.put_f64(r.wirelength);
+    e.put_f64(r.rank_gap);
+    e.put_f64(r.rel_gap);
+    e.put_f64(r.primal_residual);
+    e.put_f64(r.dual_residual);
+    e.put_u64(r.fastpath_hits);
+    e.put_u64(r.fastpath_fallbacks);
+    e.put_u8(match r.outcome {
+        "rank_certified" => 0,
+        "inner_converged" => 1,
+        _ => 2,
+    });
+    e.put_f64(r.seconds);
+    e.put_option(r.recovered_from.as_ref(), |e, s| e.put_bytes(s.as_bytes()));
+}
+
+fn get_round(d: &mut Decoder<'_>) -> Result<RoundSummary, DecodeError> {
+    let round = d.usize()?;
+    let alpha = d.f64()?;
+    let iterations = d.usize()?;
+    let sp1_iterations = d.usize()?;
+    let backend_offset = d.position();
+    let backend = match d.u8()? {
+        0 => "admm",
+        1 => "ipm",
+        _ => return Err(DecodeError { offset: backend_offset, expected: "backend tag (0..=1)" }),
+    };
+    let objective = d.f64()?;
+    let wirelength = d.f64()?;
+    let rank_gap = d.f64()?;
+    let rel_gap = d.f64()?;
+    let primal_residual = d.f64()?;
+    let dual_residual = d.f64()?;
+    let fastpath_hits = d.u64()?;
+    let fastpath_fallbacks = d.u64()?;
+    let outcome_offset = d.position();
+    let outcome = match d.u8()? {
+        0 => "rank_certified",
+        1 => "inner_converged",
+        2 => "iter_budget",
+        _ => return Err(DecodeError { offset: outcome_offset, expected: "outcome tag (0..=2)" }),
+    };
+    let seconds = d.f64()?;
+    let recovered_offset = d.position();
+    let recovered_from = d
+        .option(|d| d.bytes())?
+        .map(|b| String::from_utf8(b))
+        .transpose()
+        .map_err(|_| DecodeError { offset: recovered_offset, expected: "utf-8 recovery note" })?;
+    Ok(RoundSummary {
+        round,
+        alpha,
+        iterations,
+        sp1_iterations,
+        backend,
+        objective,
+        wirelength,
+        rank_gap,
+        rel_gap,
+        primal_residual,
+        dual_residual,
+        fastpath_hits,
+        fastpath_fallbacks,
+        outcome,
+        seconds,
+        recovered_from,
+    })
+}
+
 /// Encodes the outer-loop state as a snapshot payload (the bytes the
 /// supervisor hands to [`gfp_store::SnapshotStore::write`] under
 /// [`STATE_FORMAT_VERSION`]).
@@ -159,6 +242,12 @@ pub fn encode_state(state: &OuterState) -> Vec<u8> {
 
     e.put_bool(state.converged);
     e.put_f64(state.final_alpha);
+
+    e.put_usize(state.rounds.len());
+    for r in &state.rounds {
+        put_round(&mut e, r);
+    }
+    e.put_option(state.pending_recovery.as_ref(), |e, s| e.put_bytes(s.as_bytes()));
     e.into_bytes()
 }
 
@@ -220,6 +309,24 @@ pub fn decode_state(version: u16, payload: &[u8]) -> Result<OuterState, DecodeEr
 
     let converged = d.bool()?;
     let final_alpha = d.f64()?;
+
+    let rounds_offset = d.position();
+    let rounds_len = d.usize()?;
+    // Each round row is at least 107 payload bytes; reject forged
+    // lengths before reserving.
+    if rounds_len.checked_mul(107).is_none_or(|bytes| bytes > d.remaining()) {
+        return Err(DecodeError { offset: rounds_offset, expected: "round table length" });
+    }
+    let mut rounds = Vec::with_capacity(rounds_len);
+    for _ in 0..rounds_len {
+        rounds.push(get_round(&mut d)?);
+    }
+    let recovery_offset = d.position();
+    let pending_recovery = d
+        .option(|d| d.bytes())?
+        .map(|b| String::from_utf8(b))
+        .transpose()
+        .map_err(|_| DecodeError { offset: recovery_offset, expected: "utf-8 recovery note" })?;
     d.finish()?;
 
     Ok(OuterState {
@@ -233,6 +340,8 @@ pub fn decode_state(version: u16, payload: &[u8]) -> Result<OuterState, DecodeEr
         trace,
         converged,
         final_alpha,
+        rounds,
+        pending_recovery,
     })
 }
 

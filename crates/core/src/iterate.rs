@@ -137,6 +137,56 @@ pub struct IterTrace {
     pub sp1_status: SolveStatus,
 }
 
+/// Per-α-round convergence summary — one row of the solve report's
+/// round table, and the payload of the `round.summary` telemetry
+/// event.
+///
+/// Collected unconditionally (telemetry on or off) into
+/// [`OuterState::rounds`]: the rows are cheap, checkpointed with the
+/// rest of the state, and surface in [`GlobalFloorplan::rounds`] and
+/// `DegradedResult` so reports work without a trace file. The
+/// `fastpath_*` columns read the `kernel.eigh_partial.*` counters,
+/// which only tick while telemetry is enabled; they are 0 otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Outer round index (0-based).
+    pub round: usize,
+    /// Rank penalty α in effect.
+    pub alpha: f64,
+    /// Inner convex iterations executed this round.
+    pub iterations: usize,
+    /// Backend iterations summed over the round (ADMM iterations or
+    /// IPM Newton steps).
+    pub sp1_iterations: usize,
+    /// Backend that solved the round (`"admm"` or `"ipm"`).
+    pub backend: &'static str,
+    /// Last sub-problem-1 objective `<B̃ + αW, Z>`.
+    pub objective: f64,
+    /// Last iterate's quadratic wirelength (original units).
+    pub wirelength: f64,
+    /// Last rank gap `<W, Z>`.
+    pub rank_gap: f64,
+    /// Last relative rank gap `<W, Z> / trace(Z)`.
+    pub rel_gap: f64,
+    /// Last sub-problem-1 relative primal residual (`NaN` under IPM).
+    pub primal_residual: f64,
+    /// Last sub-problem-1 relative dual residual (`NaN` under IPM).
+    pub dual_residual: f64,
+    /// Sub-problem-2 deflated (Lanczos) fast-path accepts this round.
+    pub fastpath_hits: u64,
+    /// Sub-problem-2 dense-eigh fallbacks this round.
+    pub fastpath_fallbacks: u64,
+    /// How the round ended: `"rank_certified"`, `"inner_converged"`
+    /// or `"iter_budget"`.
+    pub outcome: &'static str,
+    /// Round wall-clock seconds (diagnostic only — never read by the
+    /// algorithm, so checkpointing it cannot perturb resumes).
+    pub seconds: f64,
+    /// Supervisor recovery (`"<cause>:<action>"`) that preceded this
+    /// round, if the previous attempt failed and was rolled back.
+    pub recovered_from: Option<String>,
+}
+
 /// The best iterate seen so far, in **normalized** coordinates.
 ///
 /// Tracked across α rounds inside [`OuterState`]; rank-certified
@@ -184,6 +234,12 @@ pub struct OuterState {
     pub best: Option<BestIterate>,
     /// Per-iteration trace.
     pub trace: Vec<IterTrace>,
+    /// Per-round convergence summaries (one per completed α round).
+    pub rounds: Vec<RoundSummary>,
+    /// Recovery note (`"<cause>:<action>"`) set by the supervisor
+    /// after a rollback; consumed into the next completed round's
+    /// [`RoundSummary::recovered_from`].
+    pub pending_recovery: Option<String>,
     /// Whether the rank certificate has been met.
     pub converged: bool,
     /// α of the most recently started round.
@@ -213,6 +269,8 @@ impl OuterState {
             admm_reuse: AdmmReuse::new(),
             best: None,
             trace: Vec::new(),
+            rounds: Vec::new(),
+            pending_recovery: None,
             converged: false,
             final_alpha: st.alpha0,
         }
@@ -236,6 +294,7 @@ impl OuterState {
             converged: self.converged,
             iterations: self.global_iter,
             trace: self.trace,
+            rounds: self.rounds,
         })
     }
 }
@@ -269,6 +328,8 @@ pub struct GlobalFloorplan {
     pub iterations: usize,
     /// Per-iteration trace.
     pub trace: Vec<IterTrace>,
+    /// Per-round convergence summaries (the solve report round table).
+    pub rounds: Vec<RoundSummary>,
 }
 
 /// The SDP-based global floorplanner (Algorithm 1).
@@ -365,12 +426,31 @@ pub fn run_alpha_round(
     state: &mut OuterState,
 ) -> Result<RoundOutcome, FloorplanError> {
     let _round_span = telemetry::span("sdp.alpha_round");
+    let round_t0 = std::time::Instant::now();
+    // Cached handles (S2 pattern): `value()` reads are cheap and the
+    // deltas give the round's dense-vs-deflated fastpath split.
+    static FASTPATH_HIT: telemetry::CounterHandle =
+        telemetry::CounterHandle::new("kernel.eigh_partial.hit");
+    static FASTPATH_FALLBACK: telemetry::CounterHandle =
+        telemetry::CounterHandle::new("kernel.eigh_partial.fallback");
+    static ROUND_WALL: telemetry::HistogramHandle =
+        telemetry::HistogramHandle::new("round.wall_micros");
+    let fastpath_hits0 = FASTPATH_HIT.value();
+    let fastpath_fallbacks0 = FASTPATH_FALLBACK.value();
     let n = problem.n;
     let lift = Lift::new(n);
     let round = state.round;
     let alpha = state.alpha;
     let round_start_iter = state.global_iter;
     state.final_alpha = alpha;
+    // Round-level convergence aggregates for the `round.summary` row.
+    let mut sp1_iterations = 0usize;
+    let mut last_objective = f64::NAN;
+    let mut last_primal = f64::NAN;
+    let mut last_dual = f64::NAN;
+    let mut last_wirelength = f64::NAN;
+    let mut last_gap = f64::NAN;
+    let mut last_rel_gap = f64::NAN;
     // Algorithm 1 lines 2–4: W starts from the trace heuristic
     // (identity) and B from the base matrix. When
     // `reset_direction` is off, W instead carries over from the
@@ -399,6 +479,10 @@ pub fn run_alpha_round(
             None
         };
         let sp1 = solve_subproblem1_with_reuse(problem, &a_eff, &objective, backend, warm, reuse)?;
+        sp1_iterations += sp1.iterations;
+        last_objective = sp1.objective;
+        last_primal = sp1.primal_residual;
+        last_dual = sp1.dual_residual;
         let z = sp1.z.clone();
         guard_finite(&z, "subproblem1")?;
         let z_mat = lift.z_matrix(&z);
@@ -428,6 +512,9 @@ pub fn run_alpha_round(
         });
 
         let rel_gap = (gap / trace_z).max(0.0);
+        last_wirelength = wirelength;
+        last_gap = gap;
+        last_rel_gap = rel_gap;
         match &mut state.best {
             Some(b) => {
                 // Prefer rank-certified iterates (their X block is a
@@ -511,7 +598,8 @@ pub fn run_alpha_round(
         // Outer termination (Algorithm 1 line 12): rank satisfied.
         if rel_gap < st.eps_rank && z_delta + w_delta < st.eps_conv {
             state.converged = true;
-            return Ok(RoundOutcome::RankCertified);
+            outcome = RoundOutcome::RankCertified;
+            break;
         }
         if z_delta + w_delta < st.eps_conv {
             outcome = RoundOutcome::InnerConverged;
@@ -519,28 +607,85 @@ pub fn run_alpha_round(
         }
     }
 
+    // Check rank after the inner loop as well.
+    if !state.converged {
+        if let Some(b) = &state.best {
+            if b.rel_gap < st.eps_rank {
+                state.converged = true;
+                outcome = RoundOutcome::RankCertified;
+            }
+        }
+    }
+
+    let round_secs = round_t0.elapsed().as_secs_f64();
+    let summary = RoundSummary {
+        round,
+        alpha,
+        iterations: state.global_iter - round_start_iter,
+        sp1_iterations,
+        backend: match backend {
+            Sp1Backend::Admm(_) => "admm",
+            Sp1Backend::Ipm(_) => "ipm",
+        },
+        objective: last_objective,
+        wirelength: last_wirelength,
+        rank_gap: last_gap,
+        rel_gap: last_rel_gap,
+        primal_residual: last_primal,
+        dual_residual: last_dual,
+        fastpath_hits: FASTPATH_HIT.value().saturating_sub(fastpath_hits0),
+        fastpath_fallbacks: FASTPATH_FALLBACK.value().saturating_sub(fastpath_fallbacks0),
+        outcome: match outcome {
+            RoundOutcome::RankCertified => "rank_certified",
+            RoundOutcome::InnerConverged => "inner_converged",
+            RoundOutcome::IterBudget => "iter_budget",
+        },
+        seconds: round_secs,
+        recovered_from: state.pending_recovery.take(),
+    };
     if telemetry::enabled() {
         telemetry::event(
             "convex.alpha_round",
             &[
                 ("round", round.into()),
                 ("alpha", alpha.into()),
-                ("iterations", (state.global_iter - round_start_iter).into()),
+                ("iterations", summary.iterations.into()),
                 (
                     "best_rel_gap",
                     state.best.as_ref().map_or(f64::NAN, |b| b.rel_gap).into(),
                 ),
             ],
         );
+        telemetry::event(
+            "round.summary",
+            &[
+                ("round", summary.round.into()),
+                ("alpha", summary.alpha.into()),
+                ("iterations", summary.iterations.into()),
+                ("sp1_iterations", summary.sp1_iterations.into()),
+                ("backend", summary.backend.into()),
+                ("objective", summary.objective.into()),
+                ("wirelength", summary.wirelength.into()),
+                ("rank_gap", summary.rank_gap.into()),
+                ("rel_gap", summary.rel_gap.into()),
+                ("primal_residual", summary.primal_residual.into()),
+                ("dual_residual", summary.dual_residual.into()),
+                ("fastpath_hits", summary.fastpath_hits.into()),
+                ("fastpath_fallbacks", summary.fastpath_fallbacks.into()),
+                ("outcome", summary.outcome.into()),
+                ("seconds", summary.seconds.into()),
+                (
+                    "recovered_from",
+                    summary
+                        .recovered_from
+                        .clone()
+                        .map_or(telemetry::Value::Str(""), telemetry::Value::Text),
+                ),
+            ],
+        );
+        ROUND_WALL.record((round_secs * 1e6) as u64);
     }
-
-    // Check rank after the inner loop as well.
-    if let Some(b) = &state.best {
-        if b.rel_gap < st.eps_rank {
-            state.converged = true;
-            return Ok(RoundOutcome::RankCertified);
-        }
-    }
+    state.rounds.push(summary);
     Ok(outcome)
 }
 

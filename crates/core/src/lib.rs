@@ -48,6 +48,7 @@ pub mod hierarchical;
 pub mod iterate;
 pub mod lifted;
 pub mod problem;
+pub mod report;
 pub mod rounding;
 pub mod subproblems;
 pub mod supervisor;

@@ -1,0 +1,116 @@
+//! Building [`SolveReport`] artifacts from supervised solve results.
+//!
+//! The telemetry crate owns the report *format* (schema, JSON codec,
+//! span-tree math); this module owns the *content*: which solver
+//! facts go into the metadata block and how a [`RoundSummary`] maps
+//! onto a report round row. Reports are captured at the end of
+//! [`SolveSupervisor::run`](crate::supervisor::SolveSupervisor) —
+//! after the supervisor span has closed, so the span tree includes
+//! the full solve — and written to the path named by `GFP_REPORT`
+//! when that variable is set.
+
+use gfp_telemetry as telemetry;
+use telemetry::{SolveReport, Value};
+
+use crate::iterate::RoundSummary;
+use crate::supervisor::DegradedResult;
+
+/// Maps one per-α-round summary onto a report round row. Field order
+/// is fixed (it is the JSON emission order); `recovered_from` is the
+/// empty string on rounds that did not follow a rollback.
+pub fn round_row(r: &RoundSummary) -> Vec<(String, Value)> {
+    let field = |k: &str, v: Value| (k.to_string(), v);
+    vec![
+        field("round", Value::U64(r.round as u64)),
+        field("alpha", Value::F64(r.alpha)),
+        field("iterations", Value::U64(r.iterations as u64)),
+        field("sp1_iterations", Value::U64(r.sp1_iterations as u64)),
+        field("backend", Value::Str(r.backend)),
+        field("objective", Value::F64(r.objective)),
+        field("wirelength", Value::F64(r.wirelength)),
+        field("rank_gap", Value::F64(r.rank_gap)),
+        field("rel_gap", Value::F64(r.rel_gap)),
+        field("primal_residual", Value::F64(r.primal_residual)),
+        field("dual_residual", Value::F64(r.dual_residual)),
+        field("fastpath_hits", Value::U64(r.fastpath_hits)),
+        field("fastpath_fallbacks", Value::U64(r.fastpath_fallbacks)),
+        field("outcome", Value::Str(r.outcome)),
+        field("seconds", Value::F64(r.seconds)),
+        field(
+            "recovered_from",
+            r.recovered_from
+                .clone()
+                .map_or(Value::Str(""), Value::Text),
+        ),
+    ]
+}
+
+impl DegradedResult {
+    /// Captures a [`SolveReport`] for this solve: run metadata and the
+    /// quality verdict, one row per completed α round (from the
+    /// checkpoint's round table, so resumed runs keep their full
+    /// history), and the current global telemetry snapshots (span
+    /// tree, counters, histograms, gauges, event counts).
+    ///
+    /// Metric sections reflect the *process-global* telemetry
+    /// aggregates: call [`gfp_telemetry::reset_aggregates`] between
+    /// solves when per-solve numbers are wanted.
+    pub fn solve_report(&self) -> SolveReport {
+        let field = |k: &str, v: Value| (k.to_string(), v);
+        let causes: Vec<&str> = self.causes.iter().map(|c| c.code()).collect();
+        let meta = vec![
+            field("modules", Value::U64(self.floorplan.positions.len() as u64)),
+            field("quality", Value::Str(self.quality.as_str())),
+            field("converged", Value::Bool(self.floorplan.converged)),
+            field("rounds", Value::U64(self.checkpoint.rounds.len() as u64)),
+            field("iterations", Value::U64(self.floorplan.iterations as u64)),
+            field("objective", Value::F64(self.floorplan.objective)),
+            field("rank_gap", Value::F64(self.floorplan.rank_gap)),
+            field("alpha", Value::F64(self.floorplan.alpha)),
+            field("recoveries", Value::U64(self.recoveries as u64)),
+            field("fallbacks", Value::U64(self.fallbacks as u64)),
+            field("backtracks", Value::U64(self.backtracks as u64)),
+            field("final_backend", Value::Str(self.final_backend)),
+            field("causes", Value::Text(causes.join(","))),
+        ];
+        let rounds = self.checkpoint.rounds.iter().map(round_row).collect();
+        SolveReport::capture(meta, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterate::FloorplannerSettings;
+    use crate::supervisor::SolveSupervisor;
+    use crate::{GlobalFloorplanProblem, ProblemOptions};
+    use gfp_netlist::suite;
+
+    #[test]
+    fn report_carries_one_row_per_round() {
+        let b = suite::gsrc_n10();
+        let p = GlobalFloorplanProblem::from_netlist(&b.netlist, &ProblemOptions::default())
+            .unwrap();
+        let mut s = FloorplannerSettings::fast();
+        s.max_iter = 2;
+        s.max_alpha_rounds = 3;
+        s.eps_rank = 1e-12; // unreachable: all 3 rounds run
+        let r = SolveSupervisor::new(s).solve(&p);
+        let report = r.solve_report();
+        assert_eq!(report.rounds.len(), 3);
+        assert_eq!(report.meta_field("modules"), Some(&Value::U64(10)));
+        assert_eq!(
+            report.meta_field("quality"),
+            Some(&Value::Str("budget_exhausted"))
+        );
+        let row = &report.rounds[0];
+        let get = |k: &str| row.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("round"), Some(Value::U64(0)));
+        assert_eq!(get("backend"), Some(Value::Str("admm")));
+        assert_eq!(get("outcome"), Some(Value::Str("iter_budget")));
+        assert!(matches!(get("seconds"), Some(Value::F64(s)) if s >= 0.0));
+        // JSON round-trip keeps the round table.
+        let back = SolveReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.rounds.len(), 3);
+    }
+}

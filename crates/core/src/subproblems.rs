@@ -30,6 +30,13 @@ pub struct Sp1Result {
     pub status: SolveStatus,
     /// Wall-clock seconds.
     pub solve_seconds: f64,
+    /// Backend iterations (ADMM iterations; Newton steps for the IPM).
+    pub iterations: usize,
+    /// Relative primal residual (`NaN` for the IPM, which has no
+    /// comparable residual — its certificate is the barrier gap).
+    pub primal_residual: f64,
+    /// Relative dual residual (`NaN` for the IPM).
+    pub dual_residual: f64,
 }
 
 /// Solves sub-problem 1 (Eq. 18): minimize `<B̃ + αW, Z>` subject to
@@ -85,6 +92,9 @@ pub fn solve_subproblem1_with_reuse(
             Ok(Sp1Result {
                 objective: sol.objective,
                 status: sol.status,
+                iterations: sol.info.iterations,
+                primal_residual: sol.info.primal_residual,
+                dual_residual: sol.info.dual_residual,
                 z: sol.x,
                 solve_seconds: t0.elapsed().as_secs_f64(),
             })
@@ -97,6 +107,9 @@ pub fn solve_subproblem1_with_reuse(
             Ok(Sp1Result {
                 objective: sol.objective,
                 status: SolveStatus::Optimal,
+                iterations: sol.newton_iterations,
+                primal_residual: f64::NAN,
+                dual_residual: f64::NAN,
                 z: sol.x,
                 solve_seconds: t0.elapsed().as_secs_f64(),
             })

@@ -356,7 +356,34 @@ impl SolveSupervisor {
         }
     }
 
-    fn run(&self, problem: &GlobalFloorplanProblem, mut state: OuterState) -> DegradedResult {
+    /// Drives [`run_inner`](Self::run_inner) and, when `GFP_REPORT`
+    /// names a path, captures a [`gfp_telemetry::SolveReport`] (see
+    /// [`DegradedResult::solve_report`]) and writes it there. Report
+    /// capture happens *after* the supervisor span closes so the span
+    /// tree includes the full solve; write failures are reported as a
+    /// telemetry event, never propagated — same best-effort contract
+    /// as durable checkpoints.
+    fn run(&self, problem: &GlobalFloorplanProblem, state: OuterState) -> DegradedResult {
+        let result = self.run_inner(problem, state);
+        if let Some(path) = telemetry::report_path_from_env() {
+            let report = result.solve_report();
+            if let Err(e) = report.write_to(&path) {
+                telemetry::counter_add("supervisor.report_write_error", 1);
+                if telemetry::enabled() {
+                    telemetry::event(
+                        "supervisor.report_write_failed",
+                        &[
+                            ("path", path.display().to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    fn run_inner(&self, problem: &GlobalFloorplanProblem, mut state: OuterState) -> DegradedResult {
         let _span = telemetry::span("supervisor.solve");
         let t0 = Instant::now();
         let st = &self.settings;
@@ -433,6 +460,7 @@ impl SolveSupervisor {
                 }
                 Err(err) => {
                     let cause = cause_of(&err, active_name);
+                    let cause_code = cause.code();
                     recoveries += 1;
                     state = checkpoint;
                     let action: &'static str;
@@ -475,6 +503,9 @@ impl SolveSupervisor {
                         exhausted = true;
                         action = "exhausted";
                     }
+                    // The next completed round's summary reports what
+                    // it recovered from ("<cause>:<action>").
+                    state.pending_recovery = Some(format!("{cause_code}:{action}"));
                     if telemetry::enabled() {
                         telemetry::event(
                             "supervisor.recovery",
@@ -531,6 +562,7 @@ impl SolveSupervisor {
                 converged: false,
                 iterations: checkpoint.global_iter,
                 trace: checkpoint.trace.clone(),
+                rounds: checkpoint.rounds.clone(),
             }
         });
 

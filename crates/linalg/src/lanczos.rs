@@ -273,6 +273,13 @@ pub fn lanczos_extreme(
         }
     }
     crate::kernel_record("lanczos", timer);
+    // Worst certified relative residual of this call, atto-scaled: the
+    // distribution across a run shows how hard the eigensolves were.
+    static RESIDUAL: gfp_telemetry::HistogramHandle =
+        gfp_telemetry::HistogramHandle::new("kernel.lanczos.residual_atto");
+    let floor = scale.max(1e-300);
+    let worst = residuals.iter().fold(0.0f64, |m, &r| m.max(r / floor));
+    RESIDUAL.record(gfp_telemetry::atto(worst));
     Ok(PartialEigh {
         values,
         vectors,

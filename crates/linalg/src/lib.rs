@@ -62,32 +62,52 @@ pub(crate) fn kernel_timer() -> Option<std::time::Instant> {
     }
 }
 
-/// Finishes a [`kernel_timer`] sample: bumps `kernel.<kind>.calls`
-/// and accumulates wall time into `kernel.<kind>.micros`.
+/// Finishes a [`kernel_timer`] sample: bumps `kernel.<kind>.calls`,
+/// accumulates wall time into `kernel.<kind>.micros`, and records the
+/// per-call time into the `kernel.<kind>.wall_micros` histogram (so
+/// reports show the distribution, not just the total). The kernels
+/// are hot paths, so each kind uses cached `static` handles instead
+/// of per-call registry probes.
 pub(crate) fn kernel_record(kind: &'static str, timer: Option<std::time::Instant>) {
     let Some(t0) = timer else { return };
     let micros = t0.elapsed().as_micros() as u64;
+    macro_rules! record {
+        ($calls:literal, $total:literal, $hist:literal) => {{
+            static CALLS: gfp_telemetry::CounterHandle = gfp_telemetry::CounterHandle::new($calls);
+            static TOTAL: gfp_telemetry::CounterHandle = gfp_telemetry::CounterHandle::new($total);
+            static WALL: gfp_telemetry::HistogramHandle =
+                gfp_telemetry::HistogramHandle::new($hist);
+            CALLS.add(1);
+            TOTAL.add(micros);
+            WALL.record(micros);
+        }};
+    }
     match kind {
-        "matmul" => {
-            gfp_telemetry::counter_add("kernel.matmul.calls", 1);
-            gfp_telemetry::counter_add("kernel.matmul.micros", micros);
-        }
-        "eigh" => {
-            gfp_telemetry::counter_add("kernel.eigh.calls", 1);
-            gfp_telemetry::counter_add("kernel.eigh.micros", micros);
-        }
-        "spectral_accumulate" => {
-            gfp_telemetry::counter_add("kernel.spectral_accumulate.calls", 1);
-            gfp_telemetry::counter_add("kernel.spectral_accumulate.micros", micros);
-        }
-        "lanczos" => {
-            gfp_telemetry::counter_add("kernel.lanczos.calls", 1);
-            gfp_telemetry::counter_add("kernel.lanczos.micros", micros);
-        }
-        "spectral_side" => {
-            gfp_telemetry::counter_add("kernel.spectral_side.calls", 1);
-            gfp_telemetry::counter_add("kernel.spectral_side.micros", micros);
-        }
+        "matmul" => record!(
+            "kernel.matmul.calls",
+            "kernel.matmul.micros",
+            "kernel.matmul.wall_micros"
+        ),
+        "eigh" => record!(
+            "kernel.eigh.calls",
+            "kernel.eigh.micros",
+            "kernel.eigh.wall_micros"
+        ),
+        "spectral_accumulate" => record!(
+            "kernel.spectral_accumulate.calls",
+            "kernel.spectral_accumulate.micros",
+            "kernel.spectral_accumulate.wall_micros"
+        ),
+        "lanczos" => record!(
+            "kernel.lanczos.calls",
+            "kernel.lanczos.micros",
+            "kernel.lanczos.wall_micros"
+        ),
+        "spectral_side" => record!(
+            "kernel.spectral_side.calls",
+            "kernel.spectral_side.micros",
+            "kernel.spectral_side.wall_micros"
+        ),
         _ => {}
     }
 }

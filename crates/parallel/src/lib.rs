@@ -175,7 +175,23 @@ pub fn effective_num_threads() -> usize {
 /// identical bits.
 pub fn should_parallelize(work: usize, min_total: usize, min_per_worker: usize) -> bool {
     let eff = effective_num_threads();
-    eff > 1 && work >= min_total && work / eff >= min_per_worker
+    let go = eff > 1 && work >= min_total && work / eff >= min_per_worker;
+    // Cutover telemetry (cached handles — this runs per kernel call):
+    // hit/serial counters say how often dispatch pays off, the gauge
+    // reports the worker count kernels are currently planning for.
+    static CUTOVER_PARALLEL: gfp_telemetry::CounterHandle =
+        gfp_telemetry::CounterHandle::new("parallel.cutover.parallel");
+    static CUTOVER_SERIAL: gfp_telemetry::CounterHandle =
+        gfp_telemetry::CounterHandle::new("parallel.cutover.serial");
+    static EFFECTIVE_WORKERS: gfp_telemetry::GaugeHandle =
+        gfp_telemetry::GaugeHandle::new("pool.effective_workers");
+    if go {
+        CUTOVER_PARALLEL.add(1);
+    } else {
+        CUTOVER_SERIAL.add(1);
+    }
+    EFFECTIVE_WORKERS.set(eff as f64);
+    go
 }
 
 /// Splits `0..len` into chunks of at most `grain` indices and runs

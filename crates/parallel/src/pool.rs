@@ -177,8 +177,15 @@ impl ThreadPool {
         };
         self.shared.peak_depth.fetch_max(depth, Ordering::Relaxed);
         if telemetry::enabled() {
-            telemetry::counter_add("pool.jobs.submitted", 1);
-            telemetry::counter("pool.queue_depth.peak").fetch_max(depth as u64, Ordering::Relaxed);
+            // Per-job hot path: cached handles, not registry probes.
+            static JOBS_SUBMITTED: telemetry::CounterHandle =
+                telemetry::CounterHandle::new("pool.jobs.submitted");
+            static QUEUE_DEPTH_PEAK: telemetry::CounterHandle =
+                telemetry::CounterHandle::new("pool.queue_depth.peak");
+            JOBS_SUBMITTED.add(1);
+            QUEUE_DEPTH_PEAK
+                .cell()
+                .fetch_max(depth as u64, Ordering::Relaxed);
         }
         self.shared.job_cv.notify_one();
     }

@@ -11,6 +11,10 @@
 //!   residuals.
 //! * **Counters** — lock-free `AtomicU64` accumulators ([`counter`],
 //!   [`counter_add`]) for totals like ADMM iterations.
+//! * **Histograms** — fixed-bucket log₂ distributions
+//!   ([`histogram_record`], `static` [`HistogramHandle`]s) whose
+//!   snapshots report min/max/mean/p50/p90/p99 deterministically.
+//! * **Gauges** — last-write-wins `f64` readings ([`gauge_set`]).
 //!
 //! Everything is dispatched through a [`Sink`]:
 //!
@@ -50,17 +54,25 @@
 //! }
 //! ```
 
+pub mod json;
 mod jsonl;
+mod metrics;
+pub mod report;
 mod sink;
 mod span;
 mod value;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 pub use jsonl::{escape_json, JsonlSink};
+pub use metrics::{
+    atto, bucket_index, bucket_lower_bound, bucket_upper_bound, CounterHandle, Gauge, GaugeHandle,
+    Histogram, HistogramHandle, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use report::{report_path_from_env, SolveReport, SpanRow, SOLVE_REPORT_SCHEMA};
 pub use sink::{NullSink, OwnedRecord, Record, RecordKind, RecordingSink, Sink};
 pub use span::{span, SpanGuard};
 pub use value::Value;
@@ -71,7 +83,9 @@ struct Global {
     sink: RwLock<Arc<dyn Sink>>,
     start: Instant,
     next_span_id: AtomicU64,
-    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
+    counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+    gauges: Mutex<HashMap<&'static str, Arc<Gauge>>>,
     span_stats: Mutex<BTreeMap<String, SpanStat>>,
     event_counts: Mutex<BTreeMap<String, u64>>,
 }
@@ -90,7 +104,9 @@ fn global() -> &'static Global {
         sink: RwLock::new(Arc::new(NullSink)),
         start: Instant::now(),
         next_span_id: AtomicU64::new(0),
-        counters: Mutex::new(Vec::new()),
+        counters: Mutex::new(HashMap::new()),
+        histograms: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
         span_stats: Mutex::new(BTreeMap::new()),
         event_counts: Mutex::new(BTreeMap::new()),
     })
@@ -173,19 +189,22 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
 }
 
 /// Returns the named counter's handle, registering it on first use.
-/// The handle is lock-free to bump; hot loops should fetch it once.
+/// The handle is lock-free to bump; hot loops should fetch it once —
+/// or better, declare a `static` [`CounterHandle`], which caches this
+/// lookup and skips the registry entirely while telemetry is off.
 pub fn counter(name: &'static str) -> Arc<AtomicU64> {
     let g = global();
     let mut counters = g.counters.lock().expect("counter lock");
-    if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
-        return Arc::clone(c);
-    }
-    let c = Arc::new(AtomicU64::new(0));
-    counters.push((name, Arc::clone(&c)));
-    c
+    Arc::clone(
+        counters
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    )
 }
 
-/// Adds `delta` to the named counter when telemetry is enabled.
+/// Adds `delta` to the named counter when telemetry is enabled. Each
+/// call pays one registry lookup (`Mutex` + hash probe); hot loops
+/// should use a `static` [`CounterHandle`] instead.
 pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
@@ -193,15 +212,128 @@ pub fn counter_add(name: &'static str, delta: u64) {
     counter(name).fetch_add(delta, Ordering::Relaxed);
 }
 
-/// Snapshot of all registered counters, in registration order.
+/// Snapshot of all registered counters, **sorted by name**. Counter
+/// values are order-independent atomic sums, so the snapshot is
+/// identical for identical work at any `GFP_THREADS` — safe to pin in
+/// golden comparisons.
 pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
     let g = global();
-    g.counters
+    let mut out: Vec<(&'static str, u64)> = g
+        .counters
         .lock()
         .expect("counter lock")
         .iter()
         .map(|(n, c)| (*n, c.load(Ordering::Relaxed)))
+        .collect();
+    out.sort_unstable_by_key(|&(n, _)| n);
+    out
+}
+
+/// Returns the named histogram, registering it on first use. Hot
+/// loops should declare a `static` [`HistogramHandle`] instead.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    let g = global();
+    let mut histograms = g.histograms.lock().expect("histogram lock");
+    Arc::clone(
+        histograms
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new(name))),
+    )
+}
+
+/// Records one sample into the named histogram when telemetry is
+/// enabled. When disabled this is a single relaxed load and the
+/// registry is never touched (no registration side effect).
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    histogram(name).record(value);
+}
+
+/// Snapshot of all registered histograms, **sorted by name** (see
+/// [`counters_snapshot`] for the determinism contract; quantiles
+/// derive from order-independent bucket counts).
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    let g = global();
+    let mut out: Vec<HistogramSnapshot> = g
+        .histograms
+        .lock()
+        .expect("histogram lock")
+        .values()
+        .map(|h| h.snapshot())
+        .collect();
+    out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Returns the named gauge, registering it on first use.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    let g = global();
+    let mut gauges = g.gauges.lock().expect("gauge lock");
+    Arc::clone(
+        gauges
+            .entry(name)
+            .or_insert_with(|| Arc::new(Gauge::new(name))),
+    )
+}
+
+/// Stores a gauge reading when telemetry is enabled. When disabled
+/// this is a single relaxed load and the registry is never touched.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    gauge(name).set(value);
+}
+
+/// Snapshot of all registered gauges, **sorted by name**.
+pub fn gauges_snapshot() -> Vec<(String, f64)> {
+    let g = global();
+    let mut out: Vec<(String, f64)> = g
+        .gauges
+        .lock()
+        .expect("gauge lock")
+        .values()
+        .map(|gg| (gg.name().to_string(), gg.get()))
+        .collect();
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Per-name event counts, sorted by name.
+pub fn event_counts_snapshot() -> Vec<(String, u64)> {
+    let g = global();
+    g.event_counts
+        .lock()
+        .expect("event counts lock")
+        .iter()
+        .map(|(n, c)| (n.clone(), *c))
         .collect()
+}
+
+/// Aggregated span statistics as `(path, count, total_secs)`, sorted
+/// by '/'-joined path (parents precede children).
+pub fn span_stats_snapshot() -> Vec<(String, u64, f64)> {
+    let g = global();
+    g.span_stats
+        .lock()
+        .expect("span stats lock")
+        .iter()
+        .map(|(p, s)| (p.clone(), s.count, s.total_secs))
+        .collect()
+}
+
+/// Sizes of the counter / histogram / gauge registries. Used by tests
+/// to prove that disabled-telemetry instrumentation sites register
+/// nothing.
+pub fn registry_sizes() -> (usize, usize, usize) {
+    let g = global();
+    (
+        g.counters.lock().expect("counter lock").len(),
+        g.histograms.lock().expect("histogram lock").len(),
+        g.gauges.lock().expect("gauge lock").len(),
+    )
 }
 
 /// Flushes the active sink (e.g. the buffered JSONL writer).
@@ -211,15 +343,23 @@ pub fn flush() {
     }
 }
 
-/// Clears aggregated span statistics, event counts and counter values.
+/// Clears aggregated span statistics, event counts, counter values,
+/// histogram samples and gauge readings. Registered entries stay
+/// registered (cached handles remain valid); only values are zeroed.
 /// The installed sink and enabled flag are untouched. Intended for
 /// tests and for binaries that run several independent experiments.
 pub fn reset_aggregates() {
     let g = global();
     g.span_stats.lock().expect("span stats lock").clear();
     g.event_counts.lock().expect("event counts lock").clear();
-    for (_, c) in g.counters.lock().expect("counter lock").iter() {
+    for c in g.counters.lock().expect("counter lock").values() {
         c.store(0, Ordering::Relaxed);
+    }
+    for h in g.histograms.lock().expect("histogram lock").values() {
+        h.reset();
+    }
+    for gg in g.gauges.lock().expect("gauge lock").values() {
+        gg.set(0.0);
     }
 }
 
@@ -290,6 +430,23 @@ pub fn summary_report() -> String {
     if !counters.is_empty() {
         out.push_str("counters:\n");
         for (name, value) in counters {
+            out.push_str(&format!("  {name:<30} {value:>9}\n"));
+        }
+    }
+    let histograms = histograms_snapshot();
+    if histograms.iter().any(|h| h.count > 0) {
+        out.push_str("histograms (count / p50 / p99 / max):\n");
+        for h in histograms.iter().filter(|h| h.count > 0) {
+            out.push_str(&format!(
+                "  {:<30} {:>9} {:>12.1} {:>12.1} {:>12}\n",
+                h.name, h.count, h.p50, h.p99, h.max
+            ));
+        }
+    }
+    let gauges = gauges_snapshot();
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in gauges {
             out.push_str(&format!("  {name:<30} {value:>9}\n"));
         }
     }

@@ -1,0 +1,438 @@
+//! Lock-free metrics: log₂ histograms, gauges, and cached handles.
+//!
+//! Histograms use a fixed array of power-of-two buckets so recording
+//! is a handful of relaxed atomic RMWs — no allocation, no locks, no
+//! floating point on the hot path. Snapshots derive min/max/mean and
+//! interpolated p50/p90/p99 from the bucket counts alone; because the
+//! per-bucket sums are order-independent, a snapshot taken after the
+//! same multiset of samples is **bitwise identical regardless of how
+//! many threads recorded them or in what interleaving** — the
+//! determinism contract golden comparisons rely on (DESIGN §13).
+//!
+//! Gauges are a single `AtomicU64` holding `f64` bits: last-write-wins
+//! point-in-time readings (effective worker counts, queue depths).
+//!
+//! # Cached handles
+//!
+//! [`crate::counter_add`] / [`crate::histogram_record`] look the name
+//! up in the registry (one `Mutex` + `HashMap` probe) on every call.
+//! Hot loops should instead declare a `static` handle, which resolves
+//! the registry entry once and then costs one relaxed load (the
+//! enabled check) plus the atomic bump:
+//!
+//! ```
+//! use gfp_telemetry::{CounterHandle, HistogramHandle};
+//!
+//! static ITERS: CounterHandle = CounterHandle::new("solver.iterations");
+//! static RESID: HistogramHandle = HistogramHandle::new("solver.residual_atto");
+//!
+//! ITERS.add(1);
+//! RESID.record(42);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket
+/// `b ≥ 1` holds values in `[2^(b-1), 2^b)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a sample value.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `b` (`0`, then `2^(b-1)`).
+#[inline]
+pub fn bucket_lower_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Scales a non-negative float onto the integer histogram domain at
+/// atto resolution (×10¹⁸) — the convention for residual-style
+/// quantities (`*_atto` metric names), whose interesting range
+/// (1e-16..1) maps to well-separated log₂ buckets. Saturates at
+/// `u64::MAX` (≈18.4); negative and NaN inputs record as zero.
+#[inline]
+pub fn atto(value: f64) -> u64 {
+    let scaled = value * 1e18;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else if scaled > 0.0 {
+        scaled as u64
+    } else {
+        0
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// A fixed-bucket log₂ histogram over `u64` samples. All state is
+/// relaxed atomics; `record` never blocks and never allocates.
+///
+/// Float quantities are recorded in scaled integer units chosen at the
+/// call site (`*.micros` for durations, `*_atto` for residuals at
+/// 1e-18 resolution) so the value space stays integral.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample: one bucket bump plus count/sum/min/max
+    /// updates, all relaxed atomics.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Clears all samples (registration is kept).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A deterministic snapshot. Quantiles interpolate linearly inside
+    /// the containing bucket and are clamped to the observed
+    /// `[min, max]`, so they depend only on the multiset of recorded
+    /// values — never on thread count or interleaving. Intended for
+    /// quiescent points (end of a solve); a snapshot raced against
+    /// in-flight `record` calls is still well-formed, merely torn by
+    /// up to the in-flight samples.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            // 0-indexed continuous rank in [0, count-1].
+            let rank = q * (count - 1) as f64;
+            let mut cum = 0u64;
+            for (b, &n) in buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let lo_rank = cum as f64;
+                cum += n;
+                if rank < cum as f64 {
+                    let lo = bucket_lower_bound(b) as f64;
+                    let hi = bucket_upper_bound(b) as f64;
+                    let frac = if n == 1 {
+                        0.0
+                    } else {
+                        (rank - lo_rank) / (n - 1) as f64
+                    };
+                    let est = lo + frac * (hi - lo);
+                    return est.clamp(min as f64, max as f64);
+                }
+            }
+            max as f64
+        };
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum,
+            min,
+            max,
+            mean,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(b, &n)| (bucket_lower_bound(b), n))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram, as rendered into solve
+/// reports. `buckets` lists only non-empty buckets as
+/// `(lower_bound, count)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered histogram name.
+    pub name: String,
+    /// Total samples (sum of bucket counts).
+    pub count: u64,
+    /// Sum of all sample values (wrapping).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `sum / count` (0 when empty).
+    pub mean: f64,
+    /// Interpolated median.
+    pub p50: f64,
+    /// Interpolated 90th percentile.
+    pub p90: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets as `(lower_bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A last-write-wins `f64` gauge (one `AtomicU64` of float bits).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores a new reading.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last stored reading (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A `static`-friendly counter handle: resolves the registry entry on
+/// first use, then bumps are one enabled check + one relaxed RMW.
+pub struct CounterHandle {
+    name: &'static str,
+    slot: OnceLock<Arc<AtomicU64>>,
+}
+
+impl CounterHandle {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        CounterHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// The counter name this handle resolves.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `delta` when telemetry is enabled. When disabled this is a
+    /// single relaxed load and the registry is never touched.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell().fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The underlying counter cell, registering it on first use.
+    pub fn cell(&self) -> &AtomicU64 {
+        self.slot.get_or_init(|| crate::counter(self.name))
+    }
+
+    /// Current counter value (registers the counter if needed).
+    pub fn value(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
+/// A `static`-friendly histogram handle; see [`CounterHandle`].
+pub struct HistogramHandle {
+    name: &'static str,
+    slot: OnceLock<Arc<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        HistogramHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Records one sample when telemetry is enabled; when disabled the
+    /// registry is never touched.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.get().record(value);
+    }
+
+    /// The underlying histogram, registering it on first use.
+    pub fn get(&self) -> &Histogram {
+        self.slot.get_or_init(|| crate::histogram(self.name))
+    }
+}
+
+/// A `static`-friendly gauge handle; see [`CounterHandle`].
+pub struct GaugeHandle {
+    name: &'static str,
+    slot: OnceLock<Arc<Gauge>>,
+}
+
+impl GaugeHandle {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        GaugeHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Stores a reading when telemetry is enabled; when disabled the
+    /// registry is never touched.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.get().set(value);
+    }
+
+    /// The underlying gauge, registering it on first use.
+    pub fn get(&self) -> &Gauge {
+        self.slot.get_or_init(|| crate::gauge(self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(b)), b, "lower of {b}");
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b, "upper of {b}");
+        }
+    }
+
+    #[test]
+    fn snapshot_stats_exact_small() {
+        let h = Histogram::new("t");
+        for v in [0u64, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 10);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // Quantiles are bucket interpolations, bounded by min/max.
+        assert!(s.p50 >= s.min as f64 && s.p50 <= s.max as f64);
+        assert!(s.p99 >= s.p90 && s.p90 >= s.p50);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let h = Histogram::new("t");
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max),
+            (0, 0, 0, 0)
+        );
+        assert_eq!((s.mean, s.p50, s.p99), (0.0, 0.0, 0.0));
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn gauge_roundtrips_bits() {
+        let g = Gauge::new("g");
+        g.set(-1.5e-7);
+        assert_eq!(g.get().to_bits(), (-1.5e-7f64).to_bits());
+    }
+}

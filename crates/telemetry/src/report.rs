@@ -1,0 +1,440 @@
+//! The versioned `SolveReport` JSON artifact (`gfp-solve-report-v1`).
+//!
+//! A report is a structured, machine-readable account of one solve:
+//! run metadata and quality verdict, the per-α-round convergence
+//! table, the span tree with total/self wall time, and sorted
+//! counter / histogram / gauge / event-count snapshots. It is what
+//! `gfp-trace rounds` and `gfp-trace diff` consume, and the
+//! substrate for service progress streaming and regression gates.
+//!
+//! # Determinism contract
+//!
+//! Every section is emitted in a deterministic order: rounds in solve
+//! order, spans sorted by path, metric sections sorted by name.
+//! Counter and histogram *values* are order-independent atomic sums,
+//! so two runs that perform the same work produce reports whose
+//! non-timing fields are identical at any `GFP_THREADS`.
+//!
+//! # Schema versioning
+//!
+//! `schema` is a name-`vN` pair. Consumers reject unknown schemas
+//! rather than guessing; additive changes (new keys) bump the suffix
+//! and the reader keeps accepting older versions it understands.
+
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::metrics::HistogramSnapshot;
+use crate::{escape_json, Value};
+
+/// Schema tag written into (and required from) report files.
+pub const SOLVE_REPORT_SCHEMA: &str = "gfp-solve-report-v1";
+
+/// One span path aggregated across the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// '/'-joined span path (e.g. `solve/alpha_round/sp1`).
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total wall seconds across all invocations.
+    pub total_secs: f64,
+    /// `total_secs` minus the totals of direct children.
+    pub self_secs: f64,
+}
+
+/// A structured account of one solve. Build with
+/// [`SolveReport::capture`] at a quiescent point, or parse one back
+/// with [`SolveReport::from_json`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveReport {
+    /// Run metadata (instance, sizes, quality verdict, backend...).
+    pub meta: Vec<(String, Value)>,
+    /// Per-α-round rows; each row is an ordered field list.
+    pub rounds: Vec<Vec<(String, Value)>>,
+    /// Span tree rows, path-sorted.
+    pub spans: Vec<SpanRow>,
+    /// Counter snapshot, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Gauge snapshot, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Event counts, name-sorted.
+    pub events: Vec<(String, u64)>,
+}
+
+impl SolveReport {
+    /// Captures the current global telemetry state (spans, counters,
+    /// histograms, gauges, event counts) together with caller-supplied
+    /// metadata and round rows. Zero-valued counters are dropped.
+    pub fn capture(meta: Vec<(String, Value)>, rounds: Vec<Vec<(String, Value)>>) -> SolveReport {
+        let spans = span_rows(crate::span_stats_snapshot());
+        let counters = crate::counters_snapshot()
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        let histograms = crate::histograms_snapshot()
+            .into_iter()
+            .filter(|h| h.count > 0)
+            .collect();
+        SolveReport {
+            meta,
+            rounds,
+            spans,
+            counters,
+            histograms,
+            gauges: crate::gauges_snapshot(),
+            events: crate::event_counts_snapshot(),
+        }
+    }
+
+    /// Renders the report as JSON. Layout is line-oriented — one span
+    /// row, round row, or metric entry per line — so text tools (and
+    /// humans) can diff and doctor reports without a JSON library.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"schema\":");
+        escape_json(SOLVE_REPORT_SCHEMA, &mut out);
+        out.push_str(",\n\"meta\":{");
+        for (i, (key, value)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            escape_json(key, &mut out);
+            out.push(':');
+            value.write_json(&mut out);
+        }
+        out.push_str("\n},\n\"rounds\":[");
+        for (i, row) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (j, (key, value)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_json(key, &mut out);
+                out.push(':');
+                value.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("\n],\n\"spans\":[");
+        for (i, row) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"path\":");
+            escape_json(&row.path, &mut out);
+            out.push_str(&format!(
+                ",\"count\":{},\"total_secs\":{:?},\"self_secs\":{:?}}}",
+                row.count, row.total_secs, row.self_secs
+            ));
+        }
+        out.push_str("\n],\n\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            escape_json(name, &mut out);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("\n},\n\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"name\":");
+            escape_json(&h.name, &mut out);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:?},\
+                 \"p50\":{:?},\"p90\":{:?},\"p99\":{:?},\"buckets\":[",
+                h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p90, h.p99
+            ));
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n],\n\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            escape_json(name, &mut out);
+            out.push(':');
+            Value::F64(*value).write_json(&mut out);
+        }
+        out.push_str("\n},\n\"events\":{");
+        for (i, (name, value)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            escape_json(name, &mut out);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("\n}\n}\n");
+        out
+    }
+
+    /// Writes [`SolveReport::to_json`] to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a report produced by [`SolveReport::to_json`] (or any
+    /// JSON matching the schema). Rejects unknown schema tags.
+    pub fn from_json(text: &str) -> Result<SolveReport, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SOLVE_REPORT_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {SOLVE_REPORT_SCHEMA:?})"
+            ));
+        }
+        let to_value = |j: &Json| -> Value {
+            match j {
+                Json::Null => Value::F64(f64::NAN),
+                Json::Bool(b) => Value::Bool(*b),
+                Json::Num(v) => match Json::Num(*v).as_u64() {
+                    Some(u) => Value::U64(u),
+                    None => Value::F64(*v),
+                },
+                Json::Str(s) => Value::Text(s.clone()),
+                other => Value::Text(format!("{other:?}")),
+            }
+        };
+        let obj_fields = |j: Option<&Json>| -> Vec<(String, Value)> {
+            j.and_then(Json::as_object)
+                .map(|members| {
+                    members
+                        .iter()
+                        .map(|(k, v)| (k.clone(), to_value(v)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let meta = obj_fields(doc.get("meta"));
+        let rounds = doc
+            .get("rounds")
+            .and_then(Json::as_array)
+            .map(|rows| rows.iter().map(|r| obj_fields(Some(r))).collect())
+            .unwrap_or_default();
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some(SpanRow {
+                            path: r.get("path")?.as_str()?.to_string(),
+                            count: r.get("count")?.as_u64()?,
+                            total_secs: r.get("total_secs")?.as_f64()?,
+                            self_secs: r.get("self_secs")?.as_f64()?,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let u64_map = |j: Option<&Json>| -> Vec<(String, u64)> {
+            j.and_then(Json::as_object)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let gauges = doc
+            .get("gauges")
+            .and_then(Json::as_object)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let histograms = doc
+            .get("histograms")
+            .and_then(Json::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some(HistogramSnapshot {
+                            name: r.get("name")?.as_str()?.to_string(),
+                            count: r.get("count")?.as_u64()?,
+                            sum: r.get("sum")?.as_u64()?,
+                            min: r.get("min")?.as_u64()?,
+                            max: r.get("max")?.as_u64()?,
+                            mean: r.get("mean")?.as_f64()?,
+                            p50: r.get("p50")?.as_f64()?,
+                            p90: r.get("p90")?.as_f64()?,
+                            p99: r.get("p99")?.as_f64()?,
+                            buckets: r
+                                .get("buckets")?
+                                .as_array()?
+                                .iter()
+                                .filter_map(|pair| {
+                                    let pair = pair.as_array()?;
+                                    Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                                })
+                                .collect(),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(SolveReport {
+            meta,
+            rounds,
+            spans,
+            counters: u64_map(doc.get("counters")),
+            histograms,
+            gauges,
+            events: u64_map(doc.get("events")),
+        })
+    }
+
+    /// Reads and parses a report file.
+    pub fn read_from(path: &Path) -> Result<SolveReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        SolveReport::from_json(&text)
+    }
+
+    /// Meta field lookup.
+    pub fn meta_field(&self, key: &str) -> Option<&Value> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Path of the report file requested via `GFP_REPORT` (if any).
+pub fn report_path_from_env() -> Option<std::path::PathBuf> {
+    match std::env::var_os("GFP_REPORT") {
+        Some(p) if !p.is_empty() => Some(std::path::PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Converts path-sorted `(path, count, total_secs)` span aggregates
+/// into report rows with self time (total minus direct children).
+pub fn span_rows(stats: Vec<(String, u64, f64)>) -> Vec<SpanRow> {
+    let mut rows: Vec<SpanRow> = stats
+        .iter()
+        .map(|(path, count, total)| SpanRow {
+            path: path.clone(),
+            count: *count,
+            total_secs: *total,
+            self_secs: *total,
+        })
+        .collect();
+    for i in 0..rows.len() {
+        let parent = rows[i].path.clone();
+        let child_total: f64 = rows
+            .iter()
+            .filter(|r| {
+                r.path.len() > parent.len()
+                    && r.path.starts_with(&parent)
+                    && r.path.as_bytes()[parent.len()] == b'/'
+                    && !r.path[parent.len() + 1..].contains('/')
+            })
+            .map(|r| r.total_secs)
+            .sum();
+        rows[i].self_secs = (rows[i].total_secs - child_total).max(0.0);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_sections() {
+        let report = SolveReport {
+            meta: vec![
+                ("instance".to_string(), Value::Text("n50".to_string())),
+                ("modules".to_string(), Value::U64(50)),
+                ("objective".to_string(), Value::F64(1.25)),
+            ],
+            rounds: vec![vec![
+                ("round".to_string(), Value::U64(0)),
+                ("alpha".to_string(), Value::F64(16.0)),
+            ]],
+            spans: vec![
+                SpanRow {
+                    path: "solve".to_string(),
+                    count: 1,
+                    total_secs: 2.0,
+                    self_secs: 0.5,
+                },
+                SpanRow {
+                    path: "solve/sp1".to_string(),
+                    count: 3,
+                    total_secs: 1.5,
+                    self_secs: 1.5,
+                },
+            ],
+            counters: vec![("admm.iterations".to_string(), 42)],
+            histograms: vec![crate::metrics::HistogramSnapshot {
+                name: "cg.iters".to_string(),
+                count: 4,
+                sum: 10,
+                min: 1,
+                max: 4,
+                mean: 2.5,
+                p50: 2.0,
+                p90: 3.7,
+                p99: 4.0,
+                buckets: vec![(1, 1), (2, 2), (4, 1)],
+            }],
+            gauges: vec![("pool.effective_workers".to_string(), 2.0)],
+            events: vec![("round.summary".to_string(), 1)],
+        };
+        let text = report.to_json();
+        let back = SolveReport::from_json(&text).expect("parse back");
+        assert_eq!(back.meta.len(), 3);
+        assert_eq!(back.meta_field("modules"), Some(&Value::U64(50)));
+        assert_eq!(back.rounds.len(), 1);
+        assert_eq!(back.spans, report.spans);
+        assert_eq!(back.counters, report.counters);
+        assert_eq!(back.histograms, report.histograms);
+        assert_eq!(back.gauges, report.gauges);
+        assert_eq!(back.events, report.events);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let err = SolveReport::from_json(r#"{"schema":"gfp-solve-report-v999"}"#).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let rows = span_rows(vec![
+            ("a".to_string(), 1, 10.0),
+            ("a/b".to_string(), 2, 4.0),
+            ("a/b/c".to_string(), 2, 3.0),
+            ("a/d".to_string(), 1, 1.0),
+        ]);
+        let get = |p: &str| rows.iter().find(|r| r.path == p).unwrap();
+        assert!((get("a").self_secs - 5.0).abs() < 1e-12);
+        assert!((get("a/b").self_secs - 1.0).abs() < 1e-12);
+        assert!((get("a/b/c").self_secs - 3.0).abs() < 1e-12);
+    }
+}

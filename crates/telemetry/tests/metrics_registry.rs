@@ -1,0 +1,169 @@
+//! Metrics-layer contract tests: cross-thread snapshot determinism,
+//! name-sorted snapshot ordering, and the disabled-telemetry no-op
+//! guarantee (zero sink traffic, zero registry growth).
+
+use std::sync::{Arc, Mutex};
+
+use gfp_telemetry as telemetry;
+use telemetry::{CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot};
+
+// Integration tests in one file share the process-global telemetry
+// state; serialize them.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// The sample multiset used by the determinism tests: spans several
+/// buckets, includes zeros, duplicates and a large outlier.
+fn samples() -> Vec<u64> {
+    let mut v: Vec<u64> = (0..200).map(|i| (i * i * 31 + 7) % 5000).collect();
+    v.push(0);
+    v.push(0);
+    v.push(1 << 40);
+    v
+}
+
+/// Records `samples()` into a fresh histogram from `threads` worker
+/// threads (fixed round-robin split) and snapshots it.
+fn record_with_threads(name: &'static str, threads: usize) -> HistogramSnapshot {
+    let h = telemetry::histogram(name);
+    h.reset();
+    let all = samples();
+    let chunks: Vec<Vec<u64>> = (0..threads)
+        .map(|t| {
+            all.iter()
+                .copied()
+                .skip(t)
+                .step_by(threads)
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for v in chunk {
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for t in handles {
+        t.join().expect("recorder thread");
+    }
+    h.snapshot()
+}
+
+#[test]
+fn histogram_snapshot_identical_at_1_2_8_threads() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let s1 = record_with_threads("test.merge.determinism", 1);
+    let s2 = record_with_threads("test.merge.determinism", 2);
+    let s8 = record_with_threads("test.merge.determinism", 8);
+    // Full structural equality, including interpolated quantiles:
+    // every field must be bitwise independent of the interleaving.
+    assert_eq!(s1, s2);
+    assert_eq!(s1, s8);
+    assert_eq!(s1.count, samples().len() as u64);
+    assert_eq!(s1.sum, samples().iter().sum::<u64>());
+    assert_eq!(s1.min, 0);
+    assert_eq!(s1.max, 1 << 40);
+}
+
+#[test]
+fn quantiles_are_ordered_and_bounded() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let s = record_with_threads("test.quantile.bounds", 4);
+    assert!(s.min as f64 <= s.p50);
+    assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    assert!(s.p99 <= s.max as f64);
+    assert!(s.mean > 0.0);
+}
+
+#[test]
+fn disabled_sites_produce_no_sink_traffic_and_no_registry_growth() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let sink = Arc::new(telemetry::RecordingSink::new());
+    telemetry::install_sink(sink.clone());
+    telemetry::set_enabled(false);
+    sink.clear();
+
+    let before = telemetry::registry_sizes();
+    // Free-function sites.
+    telemetry::histogram_record("test.disabled.histogram", 7);
+    telemetry::gauge_set("test.disabled.gauge", 1.0);
+    telemetry::counter_add("test.disabled.counter", 1);
+    // Cached-handle sites.
+    static H: HistogramHandle = HistogramHandle::new("test.disabled.h_handle");
+    static G: GaugeHandle = GaugeHandle::new("test.disabled.g_handle");
+    static C: CounterHandle = CounterHandle::new("test.disabled.c_handle");
+    H.record(7);
+    G.set(1.0);
+    C.add(1);
+    let after = telemetry::registry_sizes();
+
+    assert_eq!(before, after, "disabled sites must not register metrics");
+    assert!(
+        sink.snapshot().is_empty(),
+        "disabled sites must not reach the sink"
+    );
+    telemetry::install_sink(Arc::new(telemetry::NullSink));
+}
+
+#[test]
+fn snapshots_are_name_sorted_regardless_of_registration_order() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    // Register deliberately out of order.
+    telemetry::counter_add("test.sort.zz", 1);
+    telemetry::counter_add("test.sort.aa", 1);
+    telemetry::counter_add("test.sort.mm", 1);
+    telemetry::histogram_record("test.sort.z_h", 1);
+    telemetry::histogram_record("test.sort.a_h", 1);
+    telemetry::gauge_set("test.sort.z_g", 1.0);
+    telemetry::gauge_set("test.sort.a_g", 1.0);
+    telemetry::set_enabled(false);
+
+    let counters: Vec<&str> = telemetry::counters_snapshot()
+        .iter()
+        .map(|&(n, _)| n)
+        .collect();
+    let mut sorted = counters.clone();
+    sorted.sort_unstable();
+    assert_eq!(counters, sorted, "counters_snapshot must be name-sorted");
+
+    let hist_names: Vec<String> = telemetry::histograms_snapshot()
+        .into_iter()
+        .map(|h| h.name)
+        .collect();
+    let mut sorted = hist_names.clone();
+    sorted.sort();
+    assert_eq!(hist_names, sorted, "histograms_snapshot must be name-sorted");
+
+    let gauge_names: Vec<String> = telemetry::gauges_snapshot()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    let mut sorted = gauge_names.clone();
+    sorted.sort();
+    assert_eq!(gauge_names, sorted, "gauges_snapshot must be name-sorted");
+}
+
+#[test]
+fn cached_handles_hit_the_same_cells_as_free_functions() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    static C: CounterHandle = CounterHandle::new("test.handle.shared");
+    C.cell().store(0, std::sync::atomic::Ordering::Relaxed);
+    C.add(2);
+    telemetry::counter_add("test.handle.shared", 3);
+    assert_eq!(C.value(), 5);
+
+    static H: HistogramHandle = HistogramHandle::new("test.handle.shared_h");
+    H.get().reset();
+    H.record(4);
+    telemetry::histogram_record("test.handle.shared_h", 8);
+    telemetry::set_enabled(false);
+    let snap = H.get().snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.sum, 12);
+}

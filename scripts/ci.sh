@@ -67,6 +67,41 @@ if ! grep -q '"name":"store.resume"' target/ckpt_trace_resume.jsonl; then
     exit 1
 fi
 
+echo "== observability smoke run (gfp-trace) =="
+# A traced n50 supervised solve with both observability artifacts on:
+# GFP_TRACE (JSONL span/event stream) and GFP_REPORT (structured
+# gfp-solve-report-v1 JSON). The trace must carry the per-α-round
+# round.summary events, the analyzer must render both views, a report
+# self-diff must be clean, and a doctored report (inflated span wall
+# time) must trip the regression gate with a nonzero exit.
+rm -rf target/obs-smoke
+mkdir -p target/obs-smoke
+GFP_TRACE=target/obs-smoke/trace.jsonl GFP_REPORT=target/obs-smoke/report.json \
+    GFP_THREADS=2 \
+    target/release/checkpoint_solve --dir target/obs-smoke/ckpt --rounds 2 \
+    --instance n50 --out target/obs-smoke/solve.txt
+if ! grep -q '"name":"round.summary"' target/obs-smoke/trace.jsonl; then
+    echo "FAIL: no round.summary events in target/obs-smoke/trace.jsonl" >&2
+    exit 1
+fi
+if ! grep -q '"schema":"gfp-solve-report-v1"' target/obs-smoke/report.json; then
+    echo "FAIL: target/obs-smoke/report.json is not a gfp-solve-report-v1" >&2
+    exit 1
+fi
+target/release/gfp-trace tree target/obs-smoke/report.json
+target/release/gfp-trace rounds target/obs-smoke/report.json
+target/release/gfp-trace diff target/obs-smoke/report.json target/obs-smoke/report.json
+# Doctor the candidate: multiply every span's total wall time by ~9x
+# (the line-oriented report makes this a plain text substitution). The
+# diff gate must catch it.
+sed 's/"total_secs":/"total_secs":9/' target/obs-smoke/report.json \
+    > target/obs-smoke/report.doctored.json
+if target/release/gfp-trace diff target/obs-smoke/report.json \
+    target/obs-smoke/report.doctored.json; then
+    echo "FAIL: gfp-trace diff did not flag the doctored report" >&2
+    exit 1
+fi
+
 echo "== kernel bench (smoke) =="
 # Quick serial-vs-parallel run of the hot kernels; asserts bitwise
 # identical outputs and writes target/BENCH_kernels.smoke.json. The

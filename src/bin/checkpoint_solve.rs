@@ -10,6 +10,7 @@
 //! ```text
 //! checkpoint_solve --dir DIR [--resume] [--out FILE]
 //!                  [--abort-at-snapshot GEN] [--rounds N]
+//!                  [--instance NAME]
 //! ```
 //!
 //! * `--dir DIR` — checkpoint directory (required).
@@ -22,6 +23,9 @@
 //!   `std::process::abort()` as soon as `snap-<GEN>.gfps` exists:
 //!   a hard kill with no destructors, mid-solve by construction.
 //! * `--rounds N` — outer-round budget (default 3).
+//! * `--instance NAME` — suite benchmark to solve (default `n10`;
+//!   see `gfp_netlist::suite::specs` for the valid names); CI's
+//!   traced observability run uses `n50`.
 //!
 //! Exit codes: 0 success, 2 bad usage, 3 resume failure.
 
@@ -35,7 +39,7 @@ use gfp_netlist::suite;
 fn usage() -> ! {
     eprintln!(
         "usage: checkpoint_solve --dir DIR [--resume] [--out FILE] \
-         [--abort-at-snapshot GEN] [--rounds N]"
+         [--abort-at-snapshot GEN] [--rounds N] [--instance NAME]"
     );
     std::process::exit(2);
 }
@@ -48,6 +52,7 @@ fn main() {
     let mut resume = false;
     let mut abort_at: Option<u64> = None;
     let mut rounds: usize = 3;
+    let mut instance = "n10".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -63,6 +68,12 @@ fn main() {
             "--rounds" => {
                 rounds = match args.next().and_then(|s| s.parse().ok()) {
                     Some(n) => n,
+                    None => usage(),
+                }
+            }
+            "--instance" => {
+                instance = match args.next() {
+                    Some(name) => name,
                     None => usage(),
                 }
             }
@@ -85,9 +96,13 @@ fn main() {
         });
     }
 
-    // Fixed seeded problem: small enough to solve in well under a
-    // second, multi-round so there is a mid-solve window to die in.
-    let bench = suite::gsrc_n10();
+    // Fixed seeded problem: the default n10 is small enough to solve
+    // in well under a second, multi-round so there is a mid-solve
+    // window to die in; CI's observability stage picks n50.
+    let Some(bench) = suite::try_by_name(&instance) else {
+        eprintln!("unknown instance {instance:?}");
+        std::process::exit(2);
+    };
     let problem = GlobalFloorplanProblem::from_netlist(&bench.netlist, &ProblemOptions::default())
         .expect("suite netlist is well-formed");
     let mut settings = FloorplannerSettings::fast();

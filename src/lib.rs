@@ -51,6 +51,8 @@
 //! flow) and `crates/bench` for the binaries that regenerate every
 //! table and figure of the paper.
 
+pub mod trace_analyzer;
+
 pub use gfp_baselines as baselines;
 pub use gfp_conic as conic;
 pub use gfp_core as core;
